@@ -1,0 +1,378 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section VII) at laptop scale, plus ablations of the design choices
+// called out in DESIGN.md §6. cmd/pem-bench prints the full series at
+// paper scale; these benches measure the same code paths under `go test
+// -bench`. Scale factors are deliberately small so the whole suite
+// completes in minutes — EXPERIMENTS.md records the paper-scale numbers.
+package pem_test
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"github.com/pem-go/pem"
+	"github.com/pem-go/pem/internal/paillier"
+)
+
+// benchTrace memoizes one synthetic day per (homes, windows).
+var benchTraces = map[string]*pem.Trace{}
+
+func benchTrace(b *testing.B, homes, windows int) *pem.Trace {
+	b.Helper()
+	key := fmt.Sprintf("%d/%d", homes, windows)
+	if tr, ok := benchTraces[key]; ok {
+		return tr
+	}
+	tr, err := pem.GenerateTrace(pem.TraceConfig{Homes: homes, Windows: windows, Seed: 20200425})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchTraces[key] = tr
+	return tr
+}
+
+// --- Fig. 4: coalition sizes vs trading windows (200 homes, 720 windows) ---
+
+func BenchmarkFig4CoalitionSizes(b *testing.B) {
+	tr := benchTrace(b, 200, 720)
+	params := pem.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := pem.SimulateDay(tr, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var peakSellers int
+		for _, s := range ds.SellerCount {
+			if s > peakSellers {
+				peakSellers = s
+			}
+		}
+		b.ReportMetric(float64(peakSellers), "peak-sellers")
+	}
+}
+
+// --- Fig. 5(a): average runtime per window vs number of agents ---
+//
+// The paper fixes 2048-bit keys and sweeps n ∈ {100, 200, 300}; here the
+// sweep is n ∈ {8, 16, 24} at 512 bits so the bench stays in seconds.
+// cmd/pem-bench -fig 5a -full runs the paper scale.
+
+func BenchmarkFig5aRuntimePerWindow(b *testing.B) {
+	for _, n := range []int{8, 16, 24} {
+		b.Run(fmt.Sprintf("agents=%d", n), func(b *testing.B) {
+			benchPrivateWindows(b, n, 512)
+		})
+	}
+}
+
+// --- Fig. 5(b): runtime vs key size (pre-encryption hides the key cost) ---
+
+func BenchmarkFig5bRuntimeByKeySize(b *testing.B) {
+	for _, bits := range []int{512, 1024, 2048} {
+		b.Run(fmt.Sprintf("key=%d", bits), func(b *testing.B) {
+			benchPrivateWindows(b, 8, bits)
+		})
+	}
+}
+
+// --- Fig. 5(c): runtime vs agents at several key sizes ---
+
+func BenchmarkFig5cRuntimeByAgents(b *testing.B) {
+	for _, bits := range []int{512, 1024} {
+		for _, n := range []int{8, 16} {
+			b.Run(fmt.Sprintf("key=%d/agents=%d", bits, n), func(b *testing.B) {
+				benchPrivateWindows(b, n, bits)
+			})
+		}
+	}
+}
+
+// benchPrivateWindows measures full private trading windows.
+func benchPrivateWindows(b *testing.B, agents, keyBits int) {
+	b.Helper()
+	tr := benchTrace(b, agents, 720)
+	seed := int64(7)
+	m, err := pem.NewMarket(pem.Config{KeyBits: keyBits, Seed: &seed}, tr.Agents())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+
+	// Midday window: both coalitions populated.
+	inputs, err := tr.WindowInputs(tr.Windows / 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.RunWindow(ctx, i, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 6(a): trading price over the day ---
+
+func BenchmarkFig6aTradingPrice(b *testing.B) {
+	tr := benchTrace(b, 200, 720)
+	params := pem.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := pem.SimulateDay(tr, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var inBand int
+		for _, p := range ds.Price {
+			if p >= params.PriceFloor && p <= params.PriceCeil {
+				inBand++
+			}
+		}
+		b.ReportMetric(float64(inBand), "windows-in-band")
+	}
+}
+
+// --- Fig. 6(b): tracked-seller utility, k ∈ {20, 40} ---
+
+func BenchmarkFig6bSellerUtility(b *testing.B) {
+	tr := benchTrace(b, 200, 720)
+	params := pem.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range []float64{20, 40} {
+			if _, _, err := pem.SellerUtilitySeries(tr, 0, k, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Fig. 6(c): buyer-coalition cost, with vs without PEM ---
+
+func BenchmarkFig6cBuyerCost(b *testing.B) {
+	for _, n := range []int{100, 200} {
+		b.Run(fmt.Sprintf("homes=%d", n), func(b *testing.B) {
+			tr := benchTrace(b, n, 720)
+			params := pem.DefaultParams()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ds, err := pem.SimulateDay(tr, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var pemCost, baseCost float64
+				for w := 0; w < ds.Windows; w++ {
+					pemCost += ds.BuyerCostPEM[w]
+					baseCost += ds.BuyerCostBase[w]
+				}
+				if baseCost > 0 {
+					b.ReportMetric(100*(1-pemCost/baseCost), "%savings")
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 6(d): interaction with the main grid ---
+
+func BenchmarkFig6dGridInteraction(b *testing.B) {
+	tr := benchTrace(b, 200, 720)
+	params := pem.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := pem.SimulateDay(tr, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pemGrid, baseGrid float64
+		for w := 0; w < ds.Windows; w++ {
+			pemGrid += ds.GridPEM[w]
+			baseGrid += ds.GridBase[w]
+		}
+		if baseGrid > 0 {
+			b.ReportMetric(100*(1-pemGrid/baseGrid), "%reduction")
+		}
+	}
+}
+
+// --- Table I: average bandwidth per window by key size ---
+
+func BenchmarkTable1Bandwidth(b *testing.B) {
+	for _, bits := range []int{512, 1024, 2048} {
+		b.Run(fmt.Sprintf("key=%d", bits), func(b *testing.B) {
+			tr := benchTrace(b, 8, 720)
+			seed := int64(9)
+			m, err := pem.NewMarket(pem.Config{KeyBits: bits, Seed: &seed}, tr.Agents())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			ctx := context.Background()
+			inputs, err := tr.WindowInputs(tr.Windows / 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := m.Metrics().TotalBytes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.RunWindow(ctx, i, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			total := m.Metrics().TotalBytes() - start
+			b.ReportMetric(float64(total)/float64(b.N)/1e6, "MB/window")
+		})
+	}
+}
+
+// --- Ablation: pre-encryption pool on vs off (DESIGN.md §6) ---
+
+func BenchmarkAblationPreEncryption(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "pool=on"
+		if !on {
+			name = "pool=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := benchTrace(b, 8, 720)
+			seed := int64(11)
+			pre := on
+			m, err := pem.NewMarket(pem.Config{KeyBits: 2048, Seed: &seed, PreEncrypt: &pre}, tr.Agents())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			ctx := context.Background()
+			inputs, err := tr.WindowInputs(tr.Windows / 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.RunWindow(ctx, i, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: IKNP OT extension vs base OTs for comparator labels ---
+
+func BenchmarkAblationOTExtension(b *testing.B) {
+	for _, ext := range []bool{false, true} {
+		name := "base-ot"
+		if ext {
+			name = "iknp"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := benchTrace(b, 6, 720)
+			seed := int64(13)
+			m, err := pem.NewMarket(pem.Config{KeyBits: 512, Seed: &seed, UseOTExtension: ext}, tr.Agents())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			ctx := context.Background()
+			inputs, err := tr.WindowInputs(tr.Windows / 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.RunWindow(ctx, i, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: ring vs star aggregation critical path ---
+//
+// The PEM rings chain one ciphertext multiplication per member
+// sequentially; a star topology would have every member encrypt in
+// parallel and the sink multiply n ciphertexts. This micro-benchmark
+// isolates the homomorphic-aggregation cost of both shapes for the
+// Protocol 3 aggregate.
+
+func BenchmarkAblationAggregationTopology(b *testing.B) {
+	key, err := paillier.GenerateKey(mrand.New(mrand.NewSource(1)), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	rng := mrand.New(mrand.NewSource(2))
+	cts := make([]*paillier.Ciphertext, n)
+	for i := range cts {
+		ct, err := key.EncryptInt64(rng, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[i] = ct
+	}
+
+	b.Run("ring-sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc := cts[0]
+			for j := 1; j < n; j++ {
+				// Each hop folds one fresh encryption (simulating the
+				// member's contribution) into the accumulator.
+				var err error
+				acc, err = key.Add(acc, cts[j])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("star-sink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc := cts[0]
+			for j := 1; j < n; j++ {
+				var err error
+				acc, err = key.Add(acc, cts[j])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The star sink additionally decrypts once; the ring's
+			// decryption cost is identical, but the star pays n-1
+			// network-parallel encryptions instead of a serial chain.
+			if _, err := key.Decrypt(acc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation: Paillier scalar-multiply cost in Protocol 4 ---
+
+func BenchmarkAblationReciprocalScalarMul(b *testing.B) {
+	key, err := paillier.GenerateKey(mrand.New(mrand.NewSource(3)), 2048)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := key.EncryptInt64(mrand.New(mrand.NewSource(4)), 123456789)
+	if err != nil {
+		b.Fatal(err)
+	}
+	exp := big.NewInt(1_000_000_007)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := key.ScalarMul(ct, exp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

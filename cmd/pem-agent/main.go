@@ -1,0 +1,179 @@
+// Command pem-agent runs a single PEM agent as its own process,
+// communicating with peers over TCP with end-to-end encrypted channels.
+// It is the multi-process deployment shape of the paper's per-container
+// agents: start one pem-agent per smart home, point them at each other,
+// and they will exchange keys and trade through the private protocols.
+//
+// Example three-agent market on one machine:
+//
+//	pem-agent -id solar  -listen 127.0.0.1:7001 \
+//	    -peers 'town=127.0.0.1:7002,ev=127.0.0.1:7003' \
+//	    -gen 0.4 -load 0.1 -windows 3
+//	pem-agent -id town -listen 127.0.0.1:7002 \
+//	    -peers 'solar=127.0.0.1:7001,ev=127.0.0.1:7003' \
+//	    -gen 0.0 -load 0.3 -windows 3
+//	pem-agent -id ev -listen 127.0.0.1:7003 \
+//	    -peers 'solar=127.0.0.1:7001,town=127.0.0.1:7002' \
+//	    -gen 0.1 -load 0.2 -windows 3
+//
+// Secure-channel identities are exchanged over the TCP roster at startup
+// (trust-on-first-use); production deployments would pin the directory.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/pem-go/pem/internal/core"
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/secchan"
+	"github.com/pem-go/pem/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pem-agent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pem-agent", flag.ContinueOnError)
+	id := fs.String("id", "", "this agent's unique ID (required)")
+	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address")
+	peersFlag := fs.String("peers", "", "comma-separated peer list: id=host:port,...")
+	gen := fs.Float64("gen", 0, "generation per window (kWh)")
+	load := fs.Float64("load", 0, "load per window (kWh)")
+	batt := fs.Float64("battery", 0, "battery charge (+) / discharge (-) per window (kWh)")
+	k := fs.Float64("k", 85, "preference parameter k")
+	epsilon := fs.Float64("epsilon", 0.9, "battery loss coefficient")
+	windows := fs.Int("windows", 1, "number of trading windows to run")
+	keyBits := fs.Int("keybits", 1024, "Paillier key size")
+	plain := fs.Bool("insecure-transport", false, "skip the AES-GCM channel layer (debugging only)")
+	timeout := fs.Duration("timeout", 10*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("-peers is required (id=addr,...)")
+	}
+
+	node, err := transport.ListenTCP(*id, *listen, peers, nil)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("[%s] listening on %s\n", *id, node.Addr())
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	peerIDs := make([]string, 0, len(peers)+1)
+	peerIDs = append(peerIDs, *id)
+	for pid := range peers {
+		peerIDs = append(peerIDs, pid)
+	}
+
+	var conn transport.Conn = node
+	if !*plain {
+		identity, err := secchan.NewIdentity(nil)
+		if err != nil {
+			return err
+		}
+		dir := secchan.NewDirectory()
+		dir.Register(*id, identity.PublicKey())
+		if err := exchangeChannelKeys(ctx, node, identity, dir, peerIDs, *id); err != nil {
+			return err
+		}
+		conn = secchan.New(node, identity, dir)
+		fmt.Printf("[%s] secure channels established with %d peers\n", *id, len(peers))
+	}
+
+	agent := market.Agent{ID: *id, K: *k, Epsilon: *epsilon}
+	party, err := core.NewStandaloneParty(core.Config{KeyBits: *keyBits}, agent, conn)
+	if err != nil {
+		return err
+	}
+	if err := party.ExchangeKeys(ctx, peerIDs); err != nil {
+		return err
+	}
+	fmt.Printf("[%s] Paillier keys exchanged (%d-bit)\n", *id, *keyBits)
+
+	input := market.WindowInput{Generation: *gen, Load: *load, Battery: *batt}
+	for w := 0; w < *windows; w++ {
+		start := time.Now()
+		out, err := party.RunTradingWindow(ctx, w, input)
+		if err != nil {
+			return fmt.Errorf("window %d: %w", w, err)
+		}
+		fmt.Printf("[%s] window %d: %s market, price %.2f c/kWh, %d sellers / %d buyers (%s)\n",
+			*id, w, out.Kind, out.Price, out.SellerCount, out.BuyerCount,
+			time.Since(start).Round(time.Millisecond))
+		for _, tr := range out.Trades {
+			fmt.Printf("[%s]   trade: %s -> %s  %.4f kWh for %.2f cents\n",
+				*id, tr.Seller, tr.Buyer, tr.Energy, tr.Payment)
+		}
+	}
+	return nil
+}
+
+// parsePeers parses "id=addr,id=addr".
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		peers[kv[0]] = kv[1]
+	}
+	return peers, nil
+}
+
+// exchangeChannelKeys publishes this agent's X25519 public key and collects
+// the peers' keys (trust-on-first-use).
+func exchangeChannelKeys(ctx context.Context, node *transport.TCPNode, id *secchan.Identity, dir *secchan.Directory, peerIDs []string, self string) error {
+	const tag = "keys/x25519"
+	for _, pid := range peerIDs {
+		if pid == self {
+			continue
+		}
+		// Peers may not be listening yet; retry until the deadline.
+		for {
+			err := node.Send(ctx, pid, tag, id.PublicKey())
+			if err == nil {
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("send channel key to %s: %w", pid, err)
+			case <-time.After(500 * time.Millisecond):
+			}
+		}
+	}
+	for _, pid := range peerIDs {
+		if pid == self {
+			continue
+		}
+		pub, err := node.Recv(ctx, pid, tag)
+		if err != nil {
+			return fmt.Errorf("recv channel key from %s: %w", pid, err)
+		}
+		dir.Register(pid, pub)
+	}
+	return nil
+}

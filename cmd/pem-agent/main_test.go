@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("a=127.0.0.1:1,b=host:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peers["a"] != "127.0.0.1:1" || peers["b"] != "host:2" {
+		t.Errorf("parsed %v", peers)
+	}
+	if len(peers) != 2 {
+		t.Errorf("got %d peers", len(peers))
+	}
+}
+
+func TestParsePeersEmpty(t *testing.T) {
+	peers, err := parsePeers("")
+	if err != nil || len(peers) != 0 {
+		t.Errorf("empty list: %v, %v", peers, err)
+	}
+}
+
+func TestParsePeersWhitespace(t *testing.T) {
+	peers, err := parsePeers(" a=x:1 , b=y:2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peers["a"] != "x:1" || peers["b"] != "y:2" {
+		t.Errorf("parsed %v", peers)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	for _, bad := range []string{"noequals", "=addr", "id=", "a=1,,b=2"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+// Command pem-bench regenerates the tables and figures of the paper's
+// evaluation (Section VII).
+//
+// Usage:
+//
+//	pem-bench -fig 4            # coalition sizes vs trading windows
+//	pem-bench -fig 5a           # avg runtime/window vs #windows, n sweep
+//	pem-bench -fig 5b           # total runtime vs #windows, key sweep
+//	pem-bench -fig 5c           # runtime vs #agents, key sweep
+//	pem-bench -fig 6a|6b|6c|6d  # trading-performance figures
+//	pem-bench -table 1          # average bandwidth by key size
+//	pem-bench -all              # everything
+//
+// By default the cryptographic experiments (5a/5b/5c/table 1) run at a
+// reduced scale that finishes on a laptop; pass -full for the paper's
+// scale (hundreds of agents, 720 windows — hours of compute).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/pem-go/pem"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pem-bench:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	fig     string
+	table   int
+	all     bool
+	full    bool
+	homes   int
+	windows int
+	keyBits int
+	seed    int64
+	sample  int
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pem-bench", flag.ContinueOnError)
+	var opt options
+	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d")
+	fs.IntVar(&opt.table, "table", 0, "table to regenerate: 1")
+	fs.BoolVar(&opt.all, "all", false, "regenerate every figure and table")
+	fs.BoolVar(&opt.full, "full", false, "paper scale (slow) instead of laptop scale")
+	fs.IntVar(&opt.homes, "homes", 0, "override the number of smart homes")
+	fs.IntVar(&opt.windows, "windows", 0, "override the number of trading windows")
+	fs.IntVar(&opt.keyBits, "keybits", 0, "override the Paillier key size")
+	fs.Int64Var(&opt.seed, "seed", 20200425, "trace and protocol seed")
+	fs.IntVar(&opt.sample, "sample", 60, "print every N-th window in series output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !opt.all && opt.fig == "" && opt.table == 0 {
+		fs.Usage()
+		return fmt.Errorf("choose -fig, -table or -all")
+	}
+
+	runners := map[string]func(options) error{
+		"4":  fig4,
+		"5a": fig5a,
+		"5b": fig5b,
+		"5c": fig5c,
+		"6a": fig6a,
+		"6b": fig6b,
+		"6c": fig6c,
+		"6d": fig6d,
+		"t1": table1,
+	}
+	var targets []string
+	switch {
+	case opt.all:
+		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "t1"}
+	case opt.table == 1:
+		targets = []string{"t1"}
+	case opt.table != 0:
+		return fmt.Errorf("unknown table %d", opt.table)
+	default:
+		key := strings.ToLower(opt.fig)
+		if _, ok := runners[key]; !ok {
+			return fmt.Errorf("unknown figure %q", opt.fig)
+		}
+		targets = []string{key}
+	}
+	for _, tgt := range targets {
+		if err := runners[tgt](opt); err != nil {
+			return fmt.Errorf("%s: %w", tgt, err)
+		}
+	}
+	return nil
+}
+
+// scale resolves homes/windows/keybits for the crypto experiments.
+func (o options) scale(fullHomes, fullWindows, laptopHomes, laptopWindows int) (homes, windows int) {
+	homes, windows = laptopHomes, laptopWindows
+	if o.full {
+		homes, windows = fullHomes, fullWindows
+	}
+	if o.homes > 0 {
+		homes = o.homes
+	}
+	if o.windows > 0 {
+		windows = o.windows
+	}
+	return homes, windows
+}
+
+func (o options) trace(homes, windows int) (*pem.Trace, error) {
+	return pem.GenerateTrace(pem.TraceConfig{Homes: homes, Windows: windows, Seed: o.seed})
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// fig4: coalition sizes vs trading windows.
+func fig4(o options) error {
+	homes, windows := o.scale(200, 720, 200, 720) // plaintext: full scale is fine
+	tr, err := o.trace(homes, windows)
+	if err != nil {
+		return err
+	}
+	ds, err := pem.SimulateDay(tr, pem.DefaultParams())
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Fig. 4 — coalition sizes (%d homes, %d windows)", homes, windows))
+	fmt.Printf("%8s %14s %14s\n", "window", "buyers", "sellers")
+	for w := 0; w < ds.Windows; w += o.sample {
+		fmt.Printf("%8d %14d %14d\n", w, ds.BuyerCount[w], ds.SellerCount[w])
+	}
+	return nil
+}
+
+// runPrivateWindows measures the crypto engine over m windows. The windows
+// are drawn from the middle of the trading day so both coalitions are
+// populated and every window exercises the full protocol stack (the first
+// windows of the day are seller-less and cost almost nothing).
+func runPrivateWindows(o options, homes, windows, keyBits int) (avgPerWindow time.Duration, total time.Duration, bytesTotal int64, err error) {
+	// Always synthesize the full day, then run a midday slice of it.
+	tr, err := o.trace(homes, 720)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	first := 360 - windows/2
+	if first < 0 || windows > 720 {
+		first = 0
+	}
+	seed := o.seed
+	m, err := pem.NewMarket(pem.Config{KeyBits: keyBits, Seed: &seed}, tr.Agents())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer m.Close()
+	ctx := context.Background()
+	start := time.Now()
+	startBytes := m.Metrics().TotalBytes()
+	for w := 0; w < windows; w++ {
+		idx := first + w
+		if idx >= tr.Windows {
+			idx = tr.Windows - 1
+		}
+		inputs, err := tr.WindowInputs(idx)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		if _, err := m.RunWindow(ctx, w, inputs); err != nil {
+			return 0, 0, 0, fmt.Errorf("window %d: %w", w, err)
+		}
+	}
+	total = time.Since(start)
+	bytesTotal = m.Metrics().TotalBytes() - startBytes
+	return total / time.Duration(windows), total, bytesTotal, nil
+}
+
+// fig5a: average runtime per window for several agent counts.
+func fig5a(o options) error {
+	ns := []int{8, 16, 24}
+	keyBits := 512
+	windowsList := []int{2, 4, 8}
+	if o.full {
+		ns = []int{100, 200, 300}
+		keyBits = 2048
+		windowsList = []int{60, 360, 720}
+	}
+	if o.keyBits > 0 {
+		keyBits = o.keyBits
+	}
+	header(fmt.Sprintf("Fig. 5(a) — avg runtime per window (%d-bit keys)", keyBits))
+	fmt.Printf("%8s %8s %20s\n", "agents", "windows", "avg runtime/window")
+	for _, n := range ns {
+		for _, w := range windowsList {
+			avg, _, _, err := runPrivateWindows(o, n, w, keyBits)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%8d %8d %20s\n", n, w, avg.Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// fig5b: total runtime vs number of windows for the three key sizes.
+func fig5b(o options) error {
+	homes, _ := o.scale(200, 0, 8, 0)
+	windowsList := []int{2, 4, 8}
+	if o.full {
+		windowsList = []int{120, 360, 720}
+	}
+	header(fmt.Sprintf("Fig. 5(b) — total runtime by key size (%d agents)", homes))
+	fmt.Printf("%8s %10s %16s\n", "windows", "key bits", "total runtime")
+	for _, bits := range []int{512, 1024, 2048} {
+		for _, w := range windowsList {
+			_, total, _, err := runPrivateWindows(o, homes, w, bits)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%8d %10d %16s\n", w, bits, total.Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// fig5c: runtime for a fixed day vs the number of agents.
+func fig5c(o options) error {
+	ns := []int{6, 10, 14}
+	windows := 4
+	if o.full {
+		ns = []int{100, 150, 200, 250, 300}
+		windows = 720
+	}
+	if o.windows > 0 {
+		windows = o.windows
+	}
+	header(fmt.Sprintf("Fig. 5(c) — runtime over %d windows vs agents", windows))
+	fmt.Printf("%8s %10s %16s\n", "agents", "key bits", "total runtime")
+	for _, bits := range []int{512, 1024, 2048} {
+		for _, n := range ns {
+			_, total, _, err := runPrivateWindows(o, n, windows, bits)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%8d %10d %16s\n", n, bits, total.Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// fig6a: trading price across the day.
+func fig6a(o options) error {
+	homes, windows := o.scale(200, 720, 200, 720)
+	tr, err := o.trace(homes, windows)
+	if err != nil {
+		return err
+	}
+	params := pem.DefaultParams()
+	ds, err := pem.SimulateDay(tr, params)
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Fig. 6(a) — trading price (%d homes; grid %.0f/%.0f, band %.0f..%.0f)",
+		homes, params.GridSellPrice, params.GridRetailPrice, params.PriceFloor, params.PriceCeil))
+	fmt.Printf("%8s %12s %12s %10s\n", "window", "price", "p-hat", "market")
+	for w := 0; w < ds.Windows; w += o.sample {
+		fmt.Printf("%8d %12.2f %12.2f %10s\n", w, ds.Price[w], ds.PHat[w], ds.Kind[w])
+	}
+	return nil
+}
+
+// fig6b: utility of a tracked seller for k = 20 and 40.
+func fig6b(o options) error {
+	homes, windows := o.scale(200, 720, 200, 720)
+	tr, err := o.trace(homes, windows)
+	if err != nil {
+		return err
+	}
+	params := pem.DefaultParams()
+
+	// Track the home with the most seller windows (the paper tracks two
+	// always-sellers from the real dataset).
+	best, bestCount := 0, -1
+	for h := range tr.Homes {
+		c := 0
+		for w := 0; w < tr.Windows; w++ {
+			if tr.Gen[h][w]-tr.Load[h][w]-tr.Battery[h][w] > 0 {
+				c++
+			}
+		}
+		if c > bestCount {
+			best, bestCount = h, c
+		}
+	}
+	header(fmt.Sprintf("Fig. 6(b) — utility of tracked seller %s (%d seller windows)", tr.Homes[best].ID, bestCount))
+	fmt.Printf("%8s %14s %14s %14s %14s\n", "window", "k=20 PEM", "k=20 no-PEM", "k=40 PEM", "k=40 no-PEM")
+	w20, wo20, err := pem.SellerUtilitySeries(tr, best, 20, params)
+	if err != nil {
+		return err
+	}
+	w40, wo40, err := pem.SellerUtilitySeries(tr, best, 40, params)
+	if err != nil {
+		return err
+	}
+	for w := 0; w < tr.Windows; w += o.sample {
+		fmt.Printf("%8d %14.4f %14.4f %14.4f %14.4f\n", w, w20[w], wo20[w], w40[w], wo40[w])
+	}
+	return nil
+}
+
+// fig6c: buyer-coalition cost with and without PEM for 100 and 200 homes.
+func fig6c(o options) error {
+	params := pem.DefaultParams()
+	header("Fig. 6(c) — buyer coalition total cost (cents/window)")
+	fmt.Printf("%8s %8s %16s %16s %10s\n", "homes", "window", "with PEM", "without PEM", "savings")
+	for _, homes := range []int{100, 200} {
+		tr, err := o.trace(homes, 720)
+		if err != nil {
+			return err
+		}
+		ds, err := pem.SimulateDay(tr, params)
+		if err != nil {
+			return err
+		}
+		var pemTot, baseTot float64
+		for w := 0; w < ds.Windows; w++ {
+			pemTot += ds.BuyerCostPEM[w]
+			baseTot += ds.BuyerCostBase[w]
+		}
+		for w := 0; w < ds.Windows; w += o.sample {
+			sav := 0.0
+			if ds.BuyerCostBase[w] > 0 {
+				sav = 100 * (1 - ds.BuyerCostPEM[w]/ds.BuyerCostBase[w])
+			}
+			fmt.Printf("%8d %8d %16.1f %16.1f %9.1f%%\n", homes, w, ds.BuyerCostPEM[w], ds.BuyerCostBase[w], sav)
+		}
+		fmt.Printf("%8d %8s %16.1f %16.1f %9.1f%%  (day total)\n",
+			homes, "all", pemTot, baseTot, 100*(1-pemTot/baseTot))
+	}
+	return nil
+}
+
+// fig6d: interaction with the main grid.
+func fig6d(o options) error {
+	homes, windows := o.scale(200, 720, 200, 720)
+	tr, err := o.trace(homes, windows)
+	if err != nil {
+		return err
+	}
+	ds, err := pem.SimulateDay(tr, pem.DefaultParams())
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Fig. 6(d) — grid interaction, kWh/window (%d homes)", homes))
+	fmt.Printf("%8s %14s %14s\n", "window", "with PEM", "without PEM")
+	var pemTot, baseTot float64
+	for w := 0; w < ds.Windows; w++ {
+		pemTot += ds.GridPEM[w]
+		baseTot += ds.GridBase[w]
+	}
+	for w := 0; w < ds.Windows; w += o.sample {
+		fmt.Printf("%8d %14.4f %14.4f\n", w, ds.GridPEM[w], ds.GridBase[w])
+	}
+	fmt.Printf("%8s %14.1f %14.1f  (day total, %.1f%% reduction)\n",
+		"all", pemTot, baseTot, 100*(1-pemTot/baseTot))
+	return nil
+}
+
+// table1: average bandwidth per m windows by key size.
+func table1(o options) error {
+	homes, _ := o.scale(200, 0, 8, 0)
+	ms := []int{2, 4, 6, 8}
+	if o.full {
+		ms = []int{300, 360, 420, 480, 540, 600, 660, 720}
+	}
+	header(fmt.Sprintf("Table I — average bandwidth (MB) over m windows (%d agents)", homes))
+	fmt.Printf("%10s", "m")
+	for _, m := range ms {
+		fmt.Printf("%10d", m)
+	}
+	fmt.Println()
+	for _, bits := range []int{512, 1024, 2048} {
+		fmt.Printf("%9d-", bits)
+		for _, mWin := range ms {
+			_, _, bytesTotal, err := runPrivateWindows(o, homes, mWin, bits)
+			if err != nil {
+				return err
+			}
+			perWindowMB := float64(bytesTotal) / float64(mWin) / 1e6
+			fmt.Printf("%10.3f", perWindowMB)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(average MB of protocol traffic per trading window across all agents)")
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestScaleResolution(t *testing.T) {
+	cases := []struct {
+		name        string
+		opt         options
+		wantHomes   int
+		wantWindows int
+	}{
+		{"laptop defaults", options{}, 8, 4},
+		{"full scale", options{full: true}, 200, 720},
+		{"homes override", options{homes: 42}, 42, 4},
+		{"windows override", options{windows: 99}, 8, 99},
+		{"full with override", options{full: true, homes: 50}, 50, 720},
+	}
+	for _, c := range cases {
+		homes, windows := c.opt.scale(200, 720, 8, 4)
+		if homes != c.wantHomes || windows != c.wantWindows {
+			t.Errorf("%s: got %d/%d, want %d/%d", c.name, homes, windows, c.wantHomes, c.wantWindows)
+		}
+	}
+}
+
+func TestRunRejectsBadTargets(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-table", "7"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("no target accepted")
+	}
+}
+
+func TestRunTinyFigure(t *testing.T) {
+	// Smoke-test the plaintext figure paths end to end at tiny scale.
+	if err := run([]string{"-fig", "4", "-homes", "10", "-windows", "30", "-sample", "15"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "6a", "-homes", "10", "-windows", "30", "-sample", "15"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package pem_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"github.com/pem-go/pem"
+)
+
+// ExampleClear shows the plaintext reference clearing: two sellers and a
+// buyer in a general market.
+func ExampleClear() {
+	agents := []pem.Agent{
+		{ID: "roof-a", K: 85, Epsilon: 0.9},
+		{ID: "roof-b", K: 85, Epsilon: 0.9},
+		{ID: "flat-c", K: 85, Epsilon: 0.9},
+	}
+	inputs := []pem.WindowInput{
+		{Generation: 0.30, Load: 0.10}, // +0.20 kWh surplus
+		{Generation: 0.20, Load: 0.10}, // +0.10 kWh surplus
+		{Generation: 0.00, Load: 0.50}, // −0.50 kWh deficit
+	}
+	clearing, err := pem.Clear(agents, inputs, pem.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s market at %.2f cents/kWh\n", clearing.Kind, clearing.Price)
+	for _, tr := range clearing.Trades {
+		fmt.Printf("%s -> %s: %.2f kWh\n", tr.Seller, tr.Buyer, tr.Energy)
+	}
+	// Output:
+	// general market at 90.33 cents/kWh
+	// roof-a -> flat-c: 0.20 kWh
+	// roof-b -> flat-c: 0.10 kWh
+}
+
+// ExampleNewMarket runs one fully private trading window.
+func ExampleNewMarket() {
+	agents := []pem.Agent{
+		{ID: "seller", K: 85, Epsilon: 0.9},
+		{ID: "buyer", K: 75, Epsilon: 0.85},
+	}
+	seed := int64(7) // deterministic for the example; omit in production
+	m, err := pem.NewMarket(pem.Config{KeyBits: 256, Seed: &seed}, agents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	res, err := m.RunWindow(context.Background(), 0, []pem.WindowInput{
+		{Generation: 0.40, Load: 0.10},
+		{Generation: 0.00, Load: 0.60},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s market, %d trade(s) at %.2f cents/kWh\n",
+		res.Kind, len(res.Trades), res.Price)
+	// Output:
+	// general market, 1 trade(s) at 90.00 cents/kWh
+}
+
+// ExampleGenerateTrace synthesizes a day of smart-home data.
+func ExampleGenerateTrace() {
+	tr, err := pem.GenerateTrace(pem.TraceConfig{Homes: 3, Windows: 720, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d homes x %d one-minute windows\n", len(tr.Homes), tr.Windows)
+	// Output:
+	// 3 homes x 720 one-minute windows
+}

@@ -1,0 +1,116 @@
+// Networked-market: four agents in separate goroutines communicate over
+// real TCP sockets with end-to-end AES-GCM channels — the same deployment
+// shape as running one cmd/pem-agent process per home. No process shares
+// state; everything flows through the sockets.
+//
+// Run with: go run ./examples/networked-market
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/pem-go/pem/internal/core"
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/secchan"
+	"github.com/pem-go/pem/internal/transport"
+)
+
+func main() {
+	agents := []market.Agent{
+		{ID: "bakery", K: 85, Epsilon: 0.90},
+		{ID: "school", K: 75, Epsilon: 0.85},
+		{ID: "clinic", K: 95, Epsilon: 0.90},
+		{ID: "depot", K: 80, Epsilon: 0.88},
+	}
+	// Private per-window data: the bakery and depot have rooftop solar
+	// surplus; the school and clinic are net consumers.
+	inputs := []market.WindowInput{
+		{Generation: 0.45, Load: 0.15},
+		{Generation: 0.02, Load: 0.35},
+		{Generation: 0.00, Load: 0.22},
+		{Generation: 0.38, Load: 0.10},
+	}
+
+	// One TCP listener per agent, all on loopback.
+	nodes := make([]*transport.TCPNode, len(agents))
+	for i, a := range agents {
+		node, err := transport.ListenTCP(a.ID, "127.0.0.1:0", nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer node.Close()
+		nodes[i] = node
+	}
+	for i := range nodes {
+		for j := range nodes {
+			if i != j {
+				nodes[i].SetPeer(agents[j].ID, nodes[j].Addr())
+			}
+		}
+		fmt.Printf("%-8s listening on %s\n", agents[i].ID, nodes[i].Addr())
+	}
+
+	// Secure-channel identities (static X25519), published in a directory
+	// as the paper publishes the agents' public keys.
+	dir := secchan.NewDirectory()
+	ids := make([]*secchan.Identity, len(agents))
+	for i, a := range agents {
+		id, err := secchan.NewIdentity(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids[i] = id
+		dir.Register(a.ID, id.PublicKey())
+	}
+
+	peerIDs := make([]string, len(agents))
+	for i, a := range agents {
+		peerIDs[i] = a.ID
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	outcomes := make([]*core.PartyOutcome, len(agents))
+	for i, a := range agents {
+		wg.Add(1)
+		go func(i int, a market.Agent) {
+			defer wg.Done()
+			conn := secchan.New(nodes[i], ids[i], dir)
+			party, err := core.NewStandaloneParty(core.Config{KeyBits: 512}, a, conn)
+			if err != nil {
+				log.Printf("%s: %v", a.ID, err)
+				return
+			}
+			if err := party.ExchangeKeys(ctx, peerIDs); err != nil {
+				log.Printf("%s: key exchange: %v", a.ID, err)
+				return
+			}
+			out, err := party.RunTradingWindow(ctx, 0, inputs[i])
+			if err != nil {
+				log.Printf("%s: window: %v", a.ID, err)
+				return
+			}
+			outcomes[i] = out
+		}(i, a)
+	}
+	wg.Wait()
+
+	for i, out := range outcomes {
+		if out == nil {
+			log.Fatalf("agent %s failed", agents[i].ID)
+		}
+	}
+	fmt.Printf("\nall agents agree: %s market at %.2f cents/kWh\n", outcomes[0].Kind, outcomes[0].Price)
+	for i, out := range outcomes {
+		for _, tr := range out.Trades {
+			fmt.Printf("  %s routed %.4f kWh to %s for %.2f cents\n", tr.Seller, tr.Energy, tr.Buyer, tr.Payment)
+		}
+		_ = i
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: three smart homes trade one window privately.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/pem-go/pem"
+)
+
+func main() {
+	// Three agents: a big solar roof (surplus), and two consumers.
+	// K is the load-behaviour preference; Epsilon the battery loss
+	// coefficient (Section III-A of the paper).
+	agents := []pem.Agent{
+		{ID: "solar-roof", K: 85, Epsilon: 0.90},
+		{ID: "townhouse", K: 75, Epsilon: 0.85},
+		{ID: "ev-garage", K: 95, Epsilon: 0.90},
+	}
+
+	// 512-bit keys keep the demo snappy; use 2048 in deployments.
+	m, err := pem.NewMarket(pem.Config{KeyBits: 512}, agents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Each agent's private window data: generation, load, battery (kWh).
+	inputs := []pem.WindowInput{
+		{Generation: 0.40, Load: 0.10},                 // +0.30 surplus: seller
+		{Generation: 0.00, Load: 0.25},                 // −0.25 deficit: buyer
+		{Generation: 0.05, Load: 0.30, Battery: -0.05}, // −0.20 deficit: buyer
+	}
+
+	res, err := m.RunWindow(ctx, 0, inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("market: %s  |  private Stackelberg price: %.2f cents/kWh\n", res.Kind, res.Price)
+	fmt.Printf("coalitions: %d seller(s), %d buyer(s)\n", res.SellerCount, res.BuyerCount)
+	for _, tr := range res.Trades {
+		fmt.Printf("  %s sold %.4f kWh to %s for %.2f cents\n", tr.Seller, tr.Energy, tr.Buyer, tr.Payment)
+	}
+
+	// Every trade is committed to a hash-chained ledger.
+	l := m.Ledger()
+	if err := l.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	head := l.Head()
+	fmt.Printf("ledger verified: %d blocks, head %x\n", l.Len(), head.Hash[:8])
+
+	// Compare with what a with-full-information clearing would produce:
+	// the private protocols reproduce it without anyone revealing data.
+	ref, err := pem.Clear(agents, inputs, pem.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plaintext reference price: %.2f cents/kWh (matches: %v)\n",
+		ref.Price, abs(ref.Price-res.Price) < 0.01)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,110 @@
+// V2G: Vehicle-to-Grid trading, the extension sketched in Section VI of
+// the paper ("PEM can be extended to V2G applications by considering
+// electrical vehicles as agents with local energy").
+//
+// A parking structure hosts electric vehicles whose batteries buy cheap
+// energy around midday (solar surplus, price at the band floor) and sell
+// it back in the evening peak (deficit, price at retail or band ceiling) —
+// all without revealing any vehicle's state of charge or schedule.
+//
+// Run with: go run ./examples/v2g
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/pem-go/pem"
+)
+
+// phase describes one trading window of the scripted scenario.
+type phase struct {
+	label string
+	// evBattery is each EV's battery action: + charging (buying into the
+	// pack), − discharging (selling from the pack).
+	evBattery float64
+	// houseGen / houseLoad describe the neighborhood homes.
+	houseGen  float64
+	houseLoad float64
+}
+
+func main() {
+	// Agents: four EVs with 60 kWh packs and six homes with solar.
+	var agents []pem.Agent
+	for i := 0; i < 4; i++ {
+		agents = append(agents, pem.Agent{
+			ID:              fmt.Sprintf("ev-%d", i),
+			K:               70 + float64(10*i),
+			Epsilon:         0.92,
+			BatteryCapacity: 60,
+		})
+	}
+	for i := 0; i < 6; i++ {
+		agents = append(agents, pem.Agent{
+			ID:      fmt.Sprintf("home-%d", i),
+			K:       80 + float64(5*i),
+			Epsilon: 0.88,
+		})
+	}
+
+	m, err := pem.NewMarket(pem.Config{KeyBits: 512}, agents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	phases := []phase{
+		// Midday: homes over-generate; EVs charge (buy).
+		{label: "midday solar surplus (EVs charge)", evBattery: +0.25, houseGen: 0.40, houseLoad: 0.08},
+		// Afternoon: balanced-ish, EVs idle.
+		{label: "afternoon (EVs idle)", evBattery: 0, houseGen: 0.18, houseLoad: 0.15},
+		// Evening peak: homes draw hard; EVs discharge (sell).
+		{label: "evening peak (EVs discharge)", evBattery: -0.30, houseGen: 0.02, houseLoad: 0.35},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	for w, ph := range phases {
+		inputs := make([]pem.WindowInput, len(agents))
+		for i := range agents {
+			if i < 4 { // EVs: no generation or household load, only the pack
+				inputs[i] = pem.WindowInput{Battery: ph.evBattery}
+			} else {
+				inputs[i] = pem.WindowInput{Generation: ph.houseGen, Load: ph.houseLoad}
+			}
+		}
+
+		res, err := m.RunWindow(ctx, w, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("window %d — %s\n", w, ph.label)
+		fmt.Printf("  %s market, price %.2f cents/kWh, %d sellers / %d buyers\n",
+			res.Kind, res.Price, res.SellerCount, res.BuyerCount)
+		var evBought, evSold float64
+		for _, tr := range res.Trades {
+			if isEV(tr.Buyer) {
+				evBought += tr.Energy
+			}
+			if isEV(tr.Seller) {
+				evSold += tr.Energy
+			}
+		}
+		fmt.Printf("  EV fleet bought %.3f kWh, sold %.3f kWh (%d trades)\n\n", evBought, evSold, len(res.Trades))
+	}
+
+	// The ledger audit works across windows: total energy per seller.
+	if err := m.Ledger().Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ledger totals (kWh sold):")
+	for id, kwh := range m.Ledger().EnergyBySeller() {
+		fmt.Printf("  %-8s %.3f\n", id, kwh)
+	}
+}
+
+func isEV(id string) bool { return len(id) >= 3 && id[:3] == "ev-" }

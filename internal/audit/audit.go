@@ -1,0 +1,192 @@
+// Package audit provides post-hoc verification of PEM trading windows and
+// empirical incentive experiments.
+//
+// The paper's threat model (Section II-B) assumes semi-honest agents that
+// nevertheless "have the incentive to improve payoff by cheating on data";
+// Section VI sketches verifiable, collusion-resistant extensions. This
+// package supplies the verification half:
+//
+//   - VerifyClearing checks a window outcome for internal consistency —
+//     price inside the legal corridor, pro-rata allocation shares,
+//     conservation of traded energy, payments matching the clearing price —
+//     detecting corrupted or tampered results regardless of which party
+//     produced them.
+//   - Deviation experiments quantify Theorem 2 empirically: they replay a
+//     window with one agent misreporting its data and measure the payoff
+//     delta, demonstrating individual rationality and incentive
+//     compatibility on concrete workloads.
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/pem-go/pem/internal/market"
+)
+
+// Violation describes one failed consistency check.
+type Violation struct {
+	// Check names the failed rule.
+	Check string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Check + ": " + v.Detail }
+
+// Report is the outcome of VerifyClearing.
+type Report struct {
+	Violations []Violation
+}
+
+// OK reports whether no violations were found.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err renders the report as an error (nil if OK).
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("audit: %d violations, first: %s", len(r.Violations), r.Violations[0])
+}
+
+func (r *Report) add(check, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{Check: check, Detail: fmt.Sprintf(format, args...)})
+}
+
+// tolerances for floating/fixed-point comparisons.
+const (
+	energyTol  = 1e-4
+	paymentTol = 1e-2
+	priceTol   = 1e-6
+)
+
+// VerifyClearing audits a clearing (from either the plaintext reference or
+// the private engine, converted to a Clearing) against the market rules.
+func VerifyClearing(c *market.Clearing, params market.Params) *Report {
+	rep := &Report{}
+	if err := params.Validate(); err != nil {
+		rep.add("params", "%v", err)
+		return rep
+	}
+
+	// Rule 1: price inside the corridor, or retail for seller-less
+	// windows.
+	switch {
+	case len(c.SellerIDs) == 0:
+		if math.Abs(c.Price-params.GridRetailPrice) > priceTol {
+			rep.add("price", "seller-less window priced %.6f, want retail %.2f", c.Price, params.GridRetailPrice)
+		}
+	case c.Kind == market.ExtremeMarket:
+		if math.Abs(c.Price-params.PriceFloor) > priceTol {
+			rep.add("price", "extreme market priced %.6f, want floor %.2f", c.Price, params.PriceFloor)
+		}
+	default:
+		if c.Price < params.PriceFloor-priceTol || c.Price > params.PriceCeil+priceTol {
+			rep.add("price", "general-market price %.6f outside [%.2f, %.2f]", c.Price, params.PriceFloor, params.PriceCeil)
+		}
+	}
+
+	// Rule 2: regime matches supply/demand.
+	if len(c.SellerIDs) > 0 && len(c.BuyerIDs) > 0 {
+		wantKind := market.GeneralMarket
+		if c.Supply >= c.Demand {
+			wantKind = market.ExtremeMarket
+		}
+		if c.Kind != wantKind {
+			rep.add("regime", "kind %v with supply %.6f vs demand %.6f", c.Kind, c.Supply, c.Demand)
+		}
+	}
+
+	// Rule 3: payments match price.
+	for _, tr := range c.Trades {
+		if tr.Energy < -energyTol {
+			rep.add("trade", "%s->%s negative energy %.6f", tr.Seller, tr.Buyer, tr.Energy)
+		}
+		if math.Abs(tr.Payment-tr.Energy*c.Price) > paymentTol {
+			rep.add("payment", "%s->%s paid %.4f for %.6f kWh at %.4f", tr.Seller, tr.Buyer, tr.Payment, tr.Energy, c.Price)
+		}
+	}
+
+	// Rule 4: conservation — total traded equals the short side.
+	if len(c.SellerIDs) > 0 && len(c.BuyerIDs) > 0 {
+		var traded float64
+		bySeller := make(map[string]float64)
+		byBuyer := make(map[string]float64)
+		for _, tr := range c.Trades {
+			traded += tr.Energy
+			bySeller[tr.Seller] += tr.Energy
+			byBuyer[tr.Buyer] += tr.Energy
+		}
+		short := math.Min(c.Supply, c.Demand)
+		if math.Abs(traded-short) > energyTol*float64(len(c.Trades)+1) {
+			rep.add("conservation", "traded %.6f, short side %.6f", traded, short)
+		}
+
+		// Rule 5: pro-rata shares (Section III-D).
+		net := make(map[string]float64, len(c.Outcomes))
+		for _, o := range c.Outcomes {
+			net[o.ID] = o.Net
+		}
+		if c.Kind == market.GeneralMarket {
+			// Each seller's full surplus is sold.
+			for _, id := range c.SellerIDs {
+				if math.Abs(bySeller[id]-net[id]) > energyTol*10 {
+					rep.add("pro-rata", "seller %s sold %.6f of surplus %.6f", id, bySeller[id], net[id])
+				}
+			}
+			// Buyer j receives E_s·|sn_j|/E_b.
+			for _, id := range c.BuyerIDs {
+				want := c.Supply * (-net[id]) / c.Demand
+				if math.Abs(byBuyer[id]-want) > energyTol*10 {
+					rep.add("pro-rata", "buyer %s received %.6f, want %.6f", id, byBuyer[id], want)
+				}
+			}
+		} else {
+			// Each buyer's full demand is covered.
+			for _, id := range c.BuyerIDs {
+				if math.Abs(byBuyer[id]-(-net[id])) > energyTol*10 {
+					rep.add("pro-rata", "buyer %s received %.6f of demand %.6f", id, byBuyer[id], -net[id])
+				}
+			}
+			for _, id := range c.SellerIDs {
+				want := c.Demand * net[id] / c.Supply
+				if math.Abs(bySeller[id]-want) > energyTol*10 {
+					rep.add("pro-rata", "seller %s sold %.6f, want %.6f", id, bySeller[id], want)
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// TradesToClearing reconstructs an auditable Clearing from a private
+// window result plus the (publicly announced) roster and the auditor's own
+// knowledge of the inputs. Experiment harnesses use it to run VerifyClearing
+// against engine output.
+func TradesToClearing(kind market.Kind, price float64, trades []market.Trade, agents []market.Agent, inputs []market.WindowInput) (*market.Clearing, error) {
+	if len(agents) != len(inputs) {
+		return nil, errors.New("audit: agents/inputs length mismatch")
+	}
+	c := &market.Clearing{
+		Kind:     kind,
+		Price:    price,
+		Trades:   append([]market.Trade(nil), trades...),
+		Outcomes: make([]market.AgentOutcome, len(agents)),
+	}
+	for i, in := range inputs {
+		net := in.NetEnergy()
+		role := market.ClassifyRole(net)
+		c.Outcomes[i] = market.AgentOutcome{ID: agents[i].ID, Role: role, Net: net}
+		switch role {
+		case market.RoleSeller:
+			c.Supply += net
+			c.SellerIDs = append(c.SellerIDs, agents[i].ID)
+		case market.RoleBuyer:
+			c.Demand += -net
+			c.BuyerIDs = append(c.BuyerIDs, agents[i].ID)
+		}
+	}
+	return c, nil
+}

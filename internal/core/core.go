@@ -1,0 +1,344 @@
+// Package core implements the Private Energy Market protocol engine —
+// Protocols 1–4 of the paper — on top of the Paillier, garbled-circuit,
+// OT and transport substrates.
+//
+// Each agent is a Party running its own sequential protocol program,
+// typically on its own goroutine (mirroring the paper's one-container-per-
+// agent deployment). Within a trading window (Protocol 1) the parties:
+//
+//  1. announce their buyer/seller/off role (coalition membership is public;
+//     the underlying net energy is not),
+//  2. run Private Market Evaluation (Protocol 2): two nonce-masked Paillier
+//     ring aggregations followed by a garbled-circuit comparison of the
+//     masked totals Rb and Rs,
+//  3. in a general market, run Private Pricing (Protocol 3): ring
+//     aggregation of the sellers' k_i and g_i+1+ε_i·b_i−b_i under a random
+//     buyer's key, who computes and broadcasts the clamped equilibrium
+//     price (Eq. 13–14),
+//  4. run Private Distribution (Protocol 4): the demand side aggregates its
+//     total under a random counterparty key, each member homomorphically
+//     multiplies the encrypted total by the fixed-point reciprocal of its
+//     own share, the counterparty decrypts and broadcasts only the
+//     allocation ratios, and the pairwise trades e_ij are routed and paid.
+//
+// The paper "randomly chooses" the special parties Hr1, Hr2, Hb, Hs; this
+// implementation derives them from a public coin (SHA-256 over the window
+// number and the coalition rosters) so that all parties agree without a
+// trusted dealer — equivalent under the semi-honest model.
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/ot"
+	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/transport"
+)
+
+// Config holds the public protocol parameters shared by every party.
+type Config struct {
+	// KeyBits is the Paillier modulus size (the paper sweeps 512/1024/2048).
+	KeyBits int
+	// Params are the public market prices and bounds.
+	Params market.Params
+	// CompareBits is the width of the Rb/Rs comparator (default 64).
+	CompareBits int
+	// NonceBits is the masking-nonce width of Protocol 2 (default 40).
+	NonceBits int
+	// OTGroup is the DH group for wire-label OTs (default: 2048-bit MODP;
+	// tests use ot.TestGroup()).
+	OTGroup *ot.Group
+	// UseOTExtension switches the comparator label transfer to IKNP.
+	UseOTExtension bool
+	// DisableFreeXOR garbles XOR gates as tables (ablation only).
+	DisableFreeXOR bool
+	// GRR3 enables garbled row reduction for the comparator tables.
+	GRR3 bool
+	// PreEncrypt enables background pre-computation of Paillier blinding
+	// factors (the paper's idle-time encryption; Fig 5b's key-size
+	// insensitivity depends on it).
+	PreEncrypt bool
+	// Seed, when non-nil, makes the whole engine deterministic: party
+	// randomness is derived from it. Production deployments leave it nil
+	// (crypto/rand).
+	Seed *int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.KeyBits == 0 {
+		c.KeyBits = 1024
+	}
+	if c.CompareBits == 0 {
+		c.CompareBits = 64
+	}
+	if c.NonceBits == 0 {
+		c.NonceBits = 40
+	}
+	if c.OTGroup == nil {
+		c.OTGroup = ot.DefaultGroup()
+	}
+	if c.Params == (market.Params{}) {
+		c.Params = market.DefaultParams()
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.KeyBits < 64 {
+		return fmt.Errorf("core: key size %d too small", c.KeyBits)
+	}
+	if c.CompareBits < c.NonceBits+10 || c.CompareBits > 128 {
+		return fmt.Errorf("core: comparator width %d incompatible with %d-bit nonces", c.CompareBits, c.NonceBits)
+	}
+	return c.Params.Validate()
+}
+
+// Party is one agent's protocol endpoint.
+type Party struct {
+	agent market.Agent
+	cfg   Config
+
+	conn transport.Conn
+	key  *paillier.PrivateKey
+	dir  map[string]*paillier.PublicKey // all parties' Paillier keys
+
+	random io.Reader
+
+	poolMu sync.Mutex
+	pools  map[string]*paillier.NoncePool // peer -> blinding-factor pool
+}
+
+// ID returns the party identifier.
+func (p *Party) ID() string { return p.agent.ID }
+
+// Engine coordinates a fleet of parties through trading windows. It is the
+// experimenter's harness: it provisions keys, owns the transport, launches
+// the per-party protocol programs and aggregates the public outcome. It
+// never injects private data into the protocols themselves.
+type Engine struct {
+	cfg     Config
+	bus     *transport.Bus
+	parties []*Party
+	agents  []market.Agent
+}
+
+// NewEngine provisions keys and transport endpoints for the agents.
+func NewEngine(cfg Config, agents []market.Agent) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(agents) < 2 {
+		return nil, errors.New("core: need at least two agents")
+	}
+	seen := make(map[string]bool, len(agents))
+	for _, a := range agents {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[a.ID] {
+			return nil, fmt.Errorf("core: duplicate agent ID %q", a.ID)
+		}
+		seen[a.ID] = true
+	}
+
+	e := &Engine{
+		cfg:    cfg,
+		bus:    transport.NewBus(nil),
+		agents: append([]market.Agent(nil), agents...),
+	}
+
+	// Key generation, parallelized across agents (each agent generates its
+	// own key pair in Protocol 1 line 2).
+	keys := make([]*paillier.PrivateKey, len(agents))
+	keyErr := make([]error, len(agents))
+	var wg sync.WaitGroup
+	for i := range agents {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			keys[i], keyErr[i] = paillier.GenerateKey(partyRandom(cfg, agents[i].ID, "keygen"), cfg.KeyBits)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range keyErr {
+		if err != nil {
+			return nil, fmt.Errorf("core: keygen for %s: %w", agents[i].ID, err)
+		}
+	}
+
+	dir := make(map[string]*paillier.PublicKey, len(agents))
+	for i, a := range agents {
+		dir[a.ID] = &keys[i].PublicKey
+	}
+
+	e.parties = make([]*Party, len(agents))
+	for i, a := range agents {
+		conn, err := e.bus.Register(a.ID)
+		if err != nil {
+			return nil, err
+		}
+		e.parties[i] = &Party{
+			agent:  a,
+			cfg:    cfg,
+			conn:   conn,
+			key:    keys[i],
+			dir:    dir,
+			random: partyRandom(cfg, a.ID, "protocol"),
+			pools:  make(map[string]*paillier.NoncePool),
+		}
+	}
+	return e, nil
+}
+
+// partyRandom derives a per-party randomness source: crypto/rand in
+// production, or a seeded PRNG stream when Config.Seed is set.
+func partyRandom(cfg Config, id, domain string) io.Reader {
+	if cfg.Seed == nil {
+		return rand.Reader
+	}
+	h := sha256.Sum256([]byte(fmt.Sprintf("pem/%s/%d/%s", domain, *cfg.Seed, id)))
+	return mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(h[:8]))))
+}
+
+// Metrics exposes the transport byte counters (Table I).
+func (e *Engine) Metrics() *transport.Metrics { return e.bus.Metrics() }
+
+// Parties returns the party handles (tests use this for fault injection).
+func (e *Engine) Parties() []*Party { return e.parties }
+
+// ReplaceConn swaps a party's transport (tests wrap it in a FaultConn).
+func (p *Party) ReplaceConn(c transport.Conn) { p.conn = c }
+
+// Close releases party resources (nonce pools).
+func (e *Engine) Close() {
+	for _, p := range e.parties {
+		p.poolMu.Lock()
+		for _, pool := range p.pools {
+			pool.Close()
+		}
+		p.pools = make(map[string]*paillier.NoncePool)
+		p.poolMu.Unlock()
+	}
+}
+
+// WindowResult is the public outcome of one trading window, as observed by
+// the experiment harness.
+type WindowResult struct {
+	Window int
+	// Kind is the evaluated market regime.
+	Kind market.Kind
+	// Price is the effective trading price in cents/kWh (the grid retail
+	// price in seller-less windows).
+	Price float64
+	// PHat is the unclamped Eq. 13 price (0 when Private Pricing did not
+	// run). In a real deployment only the chosen buyer sees it.
+	PHat float64
+	// Trades are the pairwise allocations routed in Private Distribution.
+	Trades []market.Trade
+	// Degenerate marks windows with an empty coalition (no protocols run).
+	Degenerate bool
+	// SellerCount and BuyerCount are the coalition sizes (Fig 4).
+	SellerCount int
+	BuyerCount  int
+	// Duration is the wall-clock time of the window.
+	Duration time.Duration
+	// BytesOnWire is the transport traffic generated by the window.
+	BytesOnWire int64
+}
+
+// RunWindow executes Protocol 1 for one window: it hands each party its
+// private input and runs all parties concurrently until the window's
+// trades complete.
+func (e *Engine) RunWindow(ctx context.Context, window int, inputs []market.WindowInput) (*WindowResult, error) {
+	if len(inputs) != len(e.parties) {
+		return nil, fmt.Errorf("core: %d inputs for %d parties", len(inputs), len(e.parties))
+	}
+	startBytes := e.bus.Metrics().TotalBytes()
+	start := time.Now()
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	reports := make([]*partyReport, len(e.parties))
+	errs := make([]error, len(e.parties))
+	var wg sync.WaitGroup
+	for i, p := range e.parties {
+		wg.Add(1)
+		go func(i int, p *Party) {
+			defer wg.Done()
+			rep, err := p.runWindow(ctx, window, inputs[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("party %s: %w", p.ID(), err)
+				cancel() // unblock peers waiting on this party
+				return
+			}
+			reports[i] = rep
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &WindowResult{
+		Window:      window,
+		Duration:    time.Since(start),
+		BytesOnWire: e.bus.Metrics().TotalBytes() - startBytes,
+	}
+	// All parties observed the same public outcome; adopt the first
+	// report and cross-check the rest.
+	first := reports[0]
+	res.Kind = first.kind
+	res.Price = first.price
+	res.Degenerate = first.degenerate
+	res.SellerCount = first.sellerCount
+	res.BuyerCount = first.buyerCount
+	for _, rep := range reports {
+		if rep.kind != first.kind || rep.degenerate != first.degenerate {
+			return nil, errors.New("core: parties disagree on market outcome")
+		}
+		if diff := rep.price - first.price; diff > 1e-9 || diff < -1e-9 {
+			return nil, errors.New("core: parties disagree on price")
+		}
+		if rep.pHat != 0 {
+			res.PHat = rep.pHat
+		}
+		res.Trades = append(res.Trades, rep.sellerTrades...)
+	}
+	sort.Slice(res.Trades, func(i, j int) bool {
+		if res.Trades[i].Seller != res.Trades[j].Seller {
+			return res.Trades[i].Seller < res.Trades[j].Seller
+		}
+		return res.Trades[i].Buyer < res.Trades[j].Buyer
+	})
+	return res, nil
+}
+
+// partyReport is what one party learned from a window (public info only,
+// except its own trades).
+type partyReport struct {
+	kind        market.Kind
+	price       float64
+	pHat        float64
+	degenerate  bool
+	sellerCount int
+	buyerCount  int
+	// sellerTrades holds the trades this party initiated as a seller
+	// (general market) — collected so the harness sees each trade once.
+	sellerTrades []market.Trade
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"github.com/pem-go/pem/internal/gc"
+	"github.com/pem-go/pem/internal/market"
+)
+
+// privateMarketEvaluation is Protocol 2: decide general vs extreme market
+// without revealing E_b or E_s.
+//
+// Round A aggregates Rb = Σ_buyers(|sn_j| + r_j) + Σ_sellers r_i under the
+// chosen seller Hr1's key; round B aggregates Rs = Σ_sellers(sn_i + r_i) +
+// Σ_buyers r_j under the chosen buyer Hr2's key. Because both rounds carry
+// the same total nonce mass T, comparing Rb and Rs is equivalent to
+// comparing E_b and E_s — which Hr1 and Hr2 do with the garbled-circuit
+// comparator, then broadcast the one-bit outcome.
+//
+// The paper routes the final ciphertext of each round to the decryptor
+// without that decryptor's own nonce in the chain; here the decryptor adds
+// its own contribution locally after decrypting — identical totals, one
+// fewer hop.
+func (p *Party) privateMarketEvaluation(ctx context.Context, st *windowState) (market.Kind, error) {
+	ros := st.ros
+
+	// Round A contributions: buyers fold |sn_j| + r_j, sellers fold r_i.
+	// Ring order: buyers, then sellers without Hr1; sink is Hr1.
+	ringA := append(append([]string{}, ros.buyers...), without(ros.sellers, ros.hr1)...)
+	tagA := st.tag("pme/rb")
+	contribA := new(big.Int).SetUint64(st.nonce)
+	if st.role == market.RoleBuyer {
+		contribA.Add(contribA, new(big.Int).Abs(st.snFixed.Big()))
+	}
+
+	var rb uint64
+	switch {
+	case p.ID() == ros.hr1:
+		m, err := p.ringCollect(ctx, ringA, tagA)
+		if err != nil {
+			return 0, err
+		}
+		// Fold in Hr1's own nonce locally.
+		m.Add(m, new(big.Int).SetUint64(st.nonce))
+		if m.Sign() < 0 || !m.IsUint64() {
+			return 0, fmt.Errorf("masked demand out of range: %s", m)
+		}
+		rb = m.Uint64()
+	case st.role != market.RoleOff:
+		if err := p.ringAggregate(ctx, ringA, ros.hr1, ros.hr1, tagA, contribA); err != nil {
+			return 0, err
+		}
+	}
+
+	// Round B: sellers fold sn_i + r_i, buyers without Hr2 fold r_j; sink
+	// is Hr2.
+	ringB := append(append([]string{}, ros.sellers...), without(ros.buyers, ros.hr2)...)
+	tagB := st.tag("pme/rs")
+	contribB := new(big.Int).SetUint64(st.nonce)
+	if st.role == market.RoleSeller {
+		contribB.Add(contribB, st.snFixed.Big())
+	}
+
+	var rs uint64
+	switch {
+	case p.ID() == ros.hr2:
+		m, err := p.ringCollect(ctx, ringB, tagB)
+		if err != nil {
+			return 0, err
+		}
+		m.Add(m, new(big.Int).SetUint64(st.nonce))
+		if m.Sign() < 0 || !m.IsUint64() {
+			return 0, fmt.Errorf("masked supply out of range: %s", m)
+		}
+		rs = m.Uint64()
+	case st.role != market.RoleOff:
+		if err := p.ringAggregate(ctx, ringB, ros.hr2, ros.hr2, tagB, contribB); err != nil {
+			return 0, err
+		}
+	}
+
+	// Secure comparison between Hr1 (garbler, input Rb) and Hr2
+	// (evaluator, input Rs): general market iff Rb > Rs ⇔ E_b > E_s.
+	opts := gc.ProtocolOptions{
+		Group:          p.cfg.OTGroup,
+		Random:         p.random,
+		UseOTExtension: p.cfg.UseOTExtension,
+		DisableFreeXOR: p.cfg.DisableFreeXOR,
+		GRR3:           p.cfg.GRR3,
+	}
+	session := st.tag("pme/cmp")
+	kindTag := st.tag("pme/kind")
+
+	switch p.ID() {
+	case ros.hr1:
+		res, err := gc.SecureCompareGarbler(ctx, p.conn, ros.hr2, session, rb, p.cfg.CompareBits, opts)
+		if err != nil {
+			return 0, fmt.Errorf("secure comparison: %w", err)
+		}
+		kind := market.ExtremeMarket
+		if res == gc.LeftGreater {
+			kind = market.GeneralMarket
+		}
+		// Hr1 announces the public one-bit outcome to everyone else
+		// except Hr2 (who learned it in the comparison).
+		msg := []byte{byte(kind)}
+		for _, id := range ros.all {
+			if id == p.ID() || id == ros.hr2 {
+				continue
+			}
+			if err := p.conn.Send(ctx, id, kindTag, msg); err != nil {
+				return 0, err
+			}
+		}
+		return kind, nil
+
+	case ros.hr2:
+		res, err := gc.SecureCompareEvaluator(ctx, p.conn, ros.hr1, session, rs, p.cfg.CompareBits, opts)
+		if err != nil {
+			return 0, fmt.Errorf("secure comparison: %w", err)
+		}
+		if res == gc.LeftGreater {
+			return market.GeneralMarket, nil
+		}
+		return market.ExtremeMarket, nil
+
+	default:
+		raw, err := p.conn.Recv(ctx, ros.hr1, kindTag)
+		if err != nil {
+			return 0, err
+		}
+		if len(raw) != 1 {
+			return 0, fmt.Errorf("bad market-kind announcement")
+		}
+		kind := market.Kind(raw[0])
+		if kind != market.GeneralMarket && kind != market.ExtremeMarket {
+			return 0, fmt.Errorf("invalid market kind %d", raw[0])
+		}
+		return kind, nil
+	}
+}

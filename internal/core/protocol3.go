@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/big"
+
+	"github.com/pem-go/pem/internal/fixed"
+	"github.com/pem-go/pem/internal/market"
+)
+
+// privatePricing is Protocol 3: in a general market, a hash-chosen buyer Hb
+// aggregates two seller sums under its own key — Σ k_i and
+// Σ (g_i + 1 + ε_i·b_i − b_i) — computes the Stackelberg price p̂ (Eq. 13),
+// clamps it to [pl, ph] (Eq. 14) and broadcasts p*.
+//
+// The two aggregates are the protocol's designed leakage (Lemma 3): Hb
+// learns the sums but no individual seller's parameters.
+//
+// The two ring passes of the paper (lines 2–5 and line 6) are fused into a
+// single pass carrying both running ciphertexts, halving latency without
+// changing what any party sees.
+func (p *Party) privatePricing(ctx context.Context, st *windowState) (price, pHat float64, err error) {
+	ros := st.ros
+	tagRing := st.tag("pp/ring")
+	tagPrice := st.tag("pp/price")
+
+	if p.ID() == ros.hb {
+		return p.pricingAsHb(ctx, st, tagRing, tagPrice)
+	}
+
+	if st.role == market.RoleSeller {
+		// Contribution: k_i (fixed) and the Eq. 13 denominator term.
+		kFixed, err := fixed.FromFloat(p.agent.K)
+		if err != nil {
+			return 0, 0, fmt.Errorf("k out of range: %w", err)
+		}
+		term := market.SellerParams{
+			K:       p.agent.K,
+			Epsilon: p.agent.Epsilon,
+			Gen:     st.input.Generation,
+			Battery: st.input.Battery,
+		}.PriceTerm()
+		termFixed, err := fixed.FromFloat(term)
+		if err != nil {
+			return 0, 0, fmt.Errorf("price term out of range: %w", err)
+		}
+		if err := p.pricingRingStep(ctx, st, tagRing, kFixed.Big(), termFixed.Big()); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	// Everyone except Hb waits for the broadcast price pair (p*, p̂ is not
+	// revealed — only the clamped price goes out; p̂ stays with Hb).
+	raw, err := p.conn.Recv(ctx, ros.hb, tagPrice)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(raw) != 8 {
+		return 0, 0, fmt.Errorf("bad price broadcast")
+	}
+	pv := fixed.Value(int64(binary.BigEndian.Uint64(raw)))
+	price = pv.Float()
+	if price < p.cfg.Params.PriceFloor-1e-9 || price > p.cfg.Params.PriceCeil+1e-9 {
+		return 0, 0, fmt.Errorf("broadcast price %.4f outside [%v, %v]", price, p.cfg.Params.PriceFloor, p.cfg.Params.PriceCeil)
+	}
+	return price, 0, nil
+}
+
+// pricingRingStep folds this seller's two ciphertexts into the running
+// pair and forwards it along the seller ring (sink: Hb).
+func (p *Party) pricingRingStep(ctx context.Context, st *windowState, tag string, kContrib, termContrib *big.Int) error {
+	ros := st.ros
+	order := ros.sellers
+	pos := -1
+	for i, id := range order {
+		if id == p.ID() {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		return fmt.Errorf("seller %s not in pricing ring", p.ID())
+	}
+
+	encK, err := p.encryptUnder(ctx, ros.hb, kContrib)
+	if err != nil {
+		return fmt.Errorf("pricing: encrypt k: %w", err)
+	}
+	encT, err := p.encryptUnder(ctx, ros.hb, termContrib)
+	if err != nil {
+		return fmt.Errorf("pricing: encrypt term: %w", err)
+	}
+
+	accK, accT := encK, encT
+	if pos > 0 {
+		raw, err := p.conn.Recv(ctx, order[pos-1], tag)
+		if err != nil {
+			return fmt.Errorf("pricing ring recv: %w", err)
+		}
+		inK, inT, err := decodeCipherPair(raw)
+		if err != nil {
+			return err
+		}
+		pk := p.dir[ros.hb]
+		if accK, err = pk.Add(inK, encK); err != nil {
+			return err
+		}
+		if accT, err = pk.Add(inT, encT); err != nil {
+			return err
+		}
+	}
+
+	next := ros.hb
+	if pos+1 < len(order) {
+		next = order[pos+1]
+	}
+	payload, err := encodeCipherPair(accK, accT)
+	if err != nil {
+		return err
+	}
+	return p.conn.Send(ctx, next, tag, payload)
+}
+
+// pricingAsHb is the chosen buyer's side: collect the aggregate, compute
+// and broadcast the clamped price.
+func (p *Party) pricingAsHb(ctx context.Context, st *windowState, tagRing, tagPrice string) (price, pHat float64, err error) {
+	ros := st.ros
+	last := ros.sellers[len(ros.sellers)-1]
+	raw, err := p.conn.Recv(ctx, last, tagRing)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pricing: recv aggregate: %w", err)
+	}
+	ctK, ctT, err := decodeCipherPair(raw)
+	if err != nil {
+		return 0, 0, err
+	}
+	sumKBig, err := p.key.Decrypt(ctK)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pricing: decrypt Σk: %w", err)
+	}
+	sumTBig, err := p.key.Decrypt(ctT)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pricing: decrypt Σterm: %w", err)
+	}
+	sumK, err := fixed.FromBig(sumKBig)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pricing: Σk overflow: %w", err)
+	}
+	sumT, err := fixed.FromBig(sumTBig)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pricing: Σterm overflow: %w", err)
+	}
+
+	pHat, err = market.RawOptimalPrice(sumK.Float(), sumT.Float(), p.cfg.Params.GridRetailPrice)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pricing: %w", err)
+	}
+	if math.IsNaN(pHat) {
+		return 0, 0, fmt.Errorf("pricing: p̂ is NaN")
+	}
+	price = market.ClampPrice(pHat, p.cfg.Params.PriceFloor, p.cfg.Params.PriceCeil)
+
+	pv, err := fixed.FromFloat(price)
+	if err != nil {
+		return 0, 0, err
+	}
+	var msg [8]byte
+	binary.BigEndian.PutUint64(msg[:], uint64(int64(pv)))
+	if err := p.broadcast(ctx, ros.all, tagPrice, msg[:]); err != nil {
+		return 0, 0, err
+	}
+	// Adopt the quantized value that went on the wire so every party —
+	// including this one — reports bit-identical prices.
+	return pv.Float(), pHat, nil
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/pem-go/pem/internal/fixed"
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/paillier"
+)
+
+// privateDistribution is Protocol 4: allocate the pairwise trading amounts
+// e_ij in proportion to demand (general market) or supply (extreme market)
+// without revealing E_b, E_s or any |sn| value.
+//
+// General market mechanics (extreme market swaps the coalitions):
+//
+//  1. the buyers ring-aggregate Enc_pks(|sn_j|) under the chosen seller
+//     Hs's key; the last buyer broadcasts the encrypted total Enc(E_b) to
+//     the whole buyer coalition;
+//  2. every buyer homomorphically computes
+//     Enc(E_b)^round(S/|sn_j|) = Enc(E_b·S/|sn_j|) — the fixed-point
+//     reciprocal trick that sidesteps Paillier's lack of division — and
+//     sends it to Hs;
+//  3. Hs decrypts each masked value, recovers the demand ratio
+//     |sn_j|/E_b = S / (E_b·S/|sn_j|), and broadcasts the ratio vector to
+//     the seller coalition (the designed leakage of Lemma 4);
+//  4. every seller i routes e_ij = sn_i · ratio_j to each buyer j, who pays
+//     m_ji = p·e_ij back.
+func (p *Party) privateDistribution(ctx context.Context, st *windowState, kind market.Kind, price float64) ([]market.Trade, error) {
+	ros := st.ros
+
+	// The "demand side" aggregates its shares; the "supply side" receives
+	// the ratios and routes energy. In the extreme market the roles swap.
+	demandSide, supplySide := ros.buyers, ros.sellers
+	if kind == market.ExtremeMarket {
+		demandSide, supplySide = ros.sellers, ros.buyers
+	}
+
+	// Hs: hash-chosen member of the supply side.
+	hs := supplySide[publicCoin(st.window, "hs", ros.sellers, ros.buyers, len(supplySide))]
+	st.ros.hs = hs
+
+	onDemandSide := contains(demandSide, p.ID())
+	onSupplySide := contains(supplySide, p.ID())
+	st.demandSide = demandSide
+
+	tagRing := st.tag("pd/ring")
+	tagTotal := st.tag("pd/total")
+	tagMasked := st.tag("pd/masked")
+	tagRatios := st.tag("pd/ratios")
+
+	absSn := st.snFixed.Abs()
+
+	// --- Step 1: demand-side ring aggregation of Enc_hs(|sn|). ---
+	if onDemandSide {
+		if err := p.distributionRing(ctx, st, demandSide, hs, tagRing, tagTotal, absSn); err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Steps 2–3: masked reciprocals to Hs; Hs broadcasts ratios. ---
+	var ratios map[string]float64
+	switch {
+	case p.ID() == hs:
+		var err error
+		ratios, err = p.collectRatios(ctx, st, demandSide, supplySide, tagMasked, tagRatios)
+		if err != nil {
+			return nil, err
+		}
+	case onDemandSide:
+		if err := p.sendMaskedReciprocal(ctx, st, hs, tagTotal, tagMasked, absSn); err != nil {
+			return nil, err
+		}
+	}
+	if onSupplySide && p.ID() != hs {
+		raw, err := p.conn.Recv(ctx, hs, tagRatios)
+		if err != nil {
+			return nil, fmt.Errorf("distribution: recv ratios: %w", err)
+		}
+		ratios, err = decodeRatios(raw)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// --- Step 4: pairwise energy routing and payment. ---
+	return p.routeAndPay(ctx, st, kind, price, demandSide, supplySide, ratios)
+}
+
+// distributionRing folds Enc_hs(|sn|) along the demand side; the last
+// member broadcasts the encrypted total to the whole demand side.
+func (p *Party) distributionRing(ctx context.Context, st *windowState, demandSide []string, hs, tagRing, tagTotal string, absSn fixed.Value) error {
+	pos := -1
+	for i, id := range demandSide {
+		if id == p.ID() {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		return fmt.Errorf("distribution: %s not on demand side", p.ID())
+	}
+
+	enc, err := p.encryptUnder(ctx, hs, absSn.Big())
+	if err != nil {
+		return fmt.Errorf("distribution: encrypt share: %w", err)
+	}
+	acc := enc
+	if pos > 0 {
+		raw, err := p.conn.Recv(ctx, demandSide[pos-1], tagRing)
+		if err != nil {
+			return fmt.Errorf("distribution ring recv: %w", err)
+		}
+		var in paillier.Ciphertext
+		if err := in.UnmarshalBinary(raw); err != nil {
+			return fmt.Errorf("distribution ring decode: %w", err)
+		}
+		if acc, err = p.dir[hs].Add(&in, enc); err != nil {
+			return err
+		}
+	}
+
+	if pos+1 < len(demandSide) {
+		out, err := acc.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		return p.conn.Send(ctx, demandSide[pos+1], tagRing, out)
+	}
+
+	// Last member: broadcast the encrypted total within the demand side
+	// (Protocol 4 line 5).
+	out, err := acc.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	for _, id := range demandSide {
+		if id == p.ID() {
+			continue
+		}
+		if err := p.conn.Send(ctx, id, tagTotal, out); err != nil {
+			return err
+		}
+	}
+	// The broadcaster uses its own copy directly: stash via loopback send
+	// is unnecessary — hand it to sendMaskedReciprocal through the state.
+	st.encTotal = acc
+	return nil
+}
+
+// sendMaskedReciprocal computes Enc(total)^round(S/|sn|) and ships it to Hs
+// together with its identity.
+func (p *Party) sendMaskedReciprocal(ctx context.Context, st *windowState, hs, tagTotal, tagMasked string, absSn fixed.Value) error {
+	total := st.encTotal
+	if total == nil {
+		// The broadcaster is the last demand-side member.
+		last := st.demandSide[len(st.demandSide)-1]
+		raw, err := p.conn.Recv(ctx, last, tagTotal)
+		if err != nil {
+			return fmt.Errorf("distribution: recv total: %w", err)
+		}
+		var ct paillier.Ciphertext
+		if err := ct.UnmarshalBinary(raw); err != nil {
+			return fmt.Errorf("distribution: decode total: %w", err)
+		}
+		total = &ct
+	}
+
+	exp, err := fixed.ReciprocalExponent(absSn)
+	if err != nil {
+		return fmt.Errorf("distribution: reciprocal: %w", err)
+	}
+	masked, err := p.dir[hs].ScalarMul(total, exp)
+	if err != nil {
+		return fmt.Errorf("distribution: scalar mul: %w", err)
+	}
+	payload, err := masked.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return p.conn.Send(ctx, hs, tagMasked, payload)
+}
+
+// collectRatios is Hs's side: decrypt each demand-side member's masked
+// value, recover its allocation ratio and broadcast the vector to the
+// supply side.
+func (p *Party) collectRatios(ctx context.Context, st *windowState, demandSide, supplySide []string, tagMasked, tagRatios string) (map[string]float64, error) {
+	ratios := make(map[string]float64, len(demandSide))
+	for _, id := range demandSide {
+		raw, err := p.conn.Recv(ctx, id, tagMasked)
+		if err != nil {
+			return nil, fmt.Errorf("distribution: recv masked from %s: %w", id, err)
+		}
+		var ct paillier.Ciphertext
+		if err := ct.UnmarshalBinary(raw); err != nil {
+			return nil, fmt.Errorf("distribution: decode masked from %s: %w", id, err)
+		}
+		m, err := p.key.Decrypt(&ct)
+		if err != nil {
+			return nil, fmt.Errorf("distribution: decrypt masked from %s: %w", id, err)
+		}
+		ratio, err := fixed.RatioFromMasked(m)
+		if err != nil {
+			return nil, fmt.Errorf("distribution: ratio from %s: %w", id, err)
+		}
+		ratios[id] = ratio
+	}
+
+	payload, err := encodeRatios(ratios)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range supplySide {
+		if id == p.ID() {
+			continue
+		}
+		if err := p.conn.Send(ctx, id, tagRatios, payload); err != nil {
+			return nil, err
+		}
+	}
+	return ratios, nil
+}
+
+// routeAndPay is step 4: every supply-side member initiates one exchange
+// with every demand-side member.
+//
+// General market: the initiator is a seller; it routes e_ij =
+// sn_i·(|sn_j|/E_b) to buyer j, who replies with the payment m_ji = p·e_ij
+// (validated by the seller).
+//
+// Extreme market: the initiator is a buyer; it requests e_ij =
+// |sn_j|·(sn_i/E_s) from seller i and pays m_ji = p·e_ij; the seller
+// confirms by echoing the routed amount.
+func (p *Party) routeAndPay(ctx context.Context, st *windowState, kind market.Kind, price float64, demandSide, supplySide []string, ratios map[string]float64) ([]market.Trade, error) {
+	tagEnergy := st.tag("pd/energy")
+	tagReply := st.tag("pd/reply")
+
+	onSupplySide := contains(supplySide, p.ID())
+	onDemandSide := contains(demandSide, p.ID())
+
+	var trades []market.Trade
+	switch {
+	case onSupplySide:
+		myShare := st.snFixed.Abs().Float()
+		ids := append([]string(nil), demandSide...)
+		sort.Strings(ids)
+		for _, id := range ids {
+			ratio, ok := ratios[id]
+			if !ok {
+				return nil, fmt.Errorf("distribution: missing ratio for %s", id)
+			}
+			e := myShare * ratio
+			ev, err := fixed.FromFloat(e)
+			if err != nil {
+				return nil, err
+			}
+			var msg [8]byte
+			binary.BigEndian.PutUint64(msg[:], uint64(int64(ev)))
+			if err := p.conn.Send(ctx, id, tagEnergy, msg[:]); err != nil {
+				return nil, err
+			}
+			raw, err := p.conn.Recv(ctx, id, tagReply)
+			if err != nil {
+				return nil, fmt.Errorf("distribution: reply from %s: %w", id, err)
+			}
+			if len(raw) != 8 {
+				return nil, fmt.Errorf("distribution: bad reply from %s", id)
+			}
+			reply := fixed.Value(int64(binary.BigEndian.Uint64(raw))).Float()
+
+			e = ev.Float() // what was actually put on the wire
+			if kind == market.GeneralMarket {
+				// Seller initiated; the reply is the buyer's payment.
+				if diff := reply - e*price; diff > paymentTolerance || diff < -paymentTolerance {
+					return nil, fmt.Errorf("distribution: %s paid %.6f for %.6f kWh at %.4f", id, reply, e, price)
+				}
+				trades = append(trades, market.Trade{Seller: p.ID(), Buyer: id, Energy: e, Payment: reply})
+			} else {
+				// Buyer initiated; the reply confirms the routed energy.
+				if diff := reply - e; diff > paymentTolerance || diff < -paymentTolerance {
+					return nil, fmt.Errorf("distribution: %s confirmed %.6f of %.6f kWh", id, reply, e)
+				}
+				trades = append(trades, market.Trade{Seller: id, Buyer: p.ID(), Energy: e, Payment: e * price})
+			}
+		}
+	case onDemandSide:
+		for _, id := range supplySide {
+			raw, err := p.conn.Recv(ctx, id, tagEnergy)
+			if err != nil {
+				return nil, fmt.Errorf("distribution: energy from %s: %w", id, err)
+			}
+			if len(raw) != 8 {
+				return nil, fmt.Errorf("distribution: bad energy from %s", id)
+			}
+			e := fixed.Value(int64(binary.BigEndian.Uint64(raw))).Float()
+			if e < 0 {
+				return nil, fmt.Errorf("distribution: negative energy from %s", id)
+			}
+			var replyVal float64
+			if kind == market.GeneralMarket {
+				replyVal = e * price // buyer pays
+			} else {
+				replyVal = e // seller confirms routing
+			}
+			rv, err := fixed.FromFloat(replyVal)
+			if err != nil {
+				return nil, err
+			}
+			var msg [8]byte
+			binary.BigEndian.PutUint64(msg[:], uint64(int64(rv)))
+			if err := p.conn.Send(ctx, id, tagReply, msg[:]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return trades, nil
+}
+
+// paymentTolerance absorbs fixed-point rounding in the pay/confirm checks.
+const paymentTolerance = 1e-4
+
+// encodeRatios serializes a ratio vector as count | (idLen|id|f64)*.
+func encodeRatios(ratios map[string]float64) ([]byte, error) {
+	ids := make([]string, 0, len(ratios))
+	for id := range ratios {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	buf := make([]byte, 0, 4+len(ids)*16)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(ids)))
+	buf = append(buf, u32[:]...)
+	for _, id := range ids {
+		if len(id) > 0xffff {
+			return nil, fmt.Errorf("distribution: party ID too long")
+		}
+		var u16 [2]byte
+		binary.BigEndian.PutUint16(u16[:], uint16(len(id)))
+		buf = append(buf, u16[:]...)
+		buf = append(buf, id...)
+		var f [8]byte
+		binary.BigEndian.PutUint64(f[:], math.Float64bits(ratios[id]))
+		buf = append(buf, f[:]...)
+	}
+	return buf, nil
+}
+
+// decodeRatios reverses encodeRatios.
+func decodeRatios(raw []byte) (map[string]float64, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("distribution: truncated ratios")
+	}
+	n := int(binary.BigEndian.Uint32(raw))
+	raw = raw[4:]
+	out := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		if len(raw) < 2 {
+			return nil, fmt.Errorf("distribution: truncated ratio id length")
+		}
+		idLen := int(binary.BigEndian.Uint16(raw))
+		raw = raw[2:]
+		if len(raw) < idLen+8 {
+			return nil, fmt.Errorf("distribution: truncated ratio entry")
+		}
+		id := string(raw[:idLen])
+		raw = raw[idLen:]
+		out[id] = math.Float64frombits(binary.BigEndian.Uint64(raw))
+		raw = raw[8:]
+	}
+	if len(raw) != 0 {
+		return nil, fmt.Errorf("distribution: trailing ratio bytes")
+	}
+	return out, nil
+}
+
+// cipher-pair codec shared with Protocol 3.
+func encodeCipherPair(a, b *paillier.Ciphertext) ([]byte, error) {
+	ab, err := a.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	bb, err := b.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(ab)))
+	out := append(u32[:], ab...)
+	return append(out, bb...), nil
+}
+
+func decodeCipherPair(raw []byte) (*paillier.Ciphertext, *paillier.Ciphertext, error) {
+	if len(raw) < 4 {
+		return nil, nil, fmt.Errorf("truncated ciphertext pair")
+	}
+	alen := int(binary.BigEndian.Uint32(raw))
+	raw = raw[4:]
+	if len(raw) < alen {
+		return nil, nil, fmt.Errorf("truncated first ciphertext")
+	}
+	var a, b paillier.Ciphertext
+	if err := a.UnmarshalBinary(raw[:alen]); err != nil {
+		return nil, nil, err
+	}
+	if err := b.UnmarshalBinary(raw[alen:]); err != nil {
+		return nil, nil, err
+	}
+	return &a, &b, nil
+}

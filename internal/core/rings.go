@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"github.com/pem-go/pem/internal/paillier"
+)
+
+// encryptUnder encrypts m under the public key of holder, using the
+// pre-computed blinding-factor pool when enabled (the paper's idle-time
+// encryption).
+func (p *Party) encryptUnder(ctx context.Context, holder string, m *big.Int) (*paillier.Ciphertext, error) {
+	pk, ok := p.dir[holder]
+	if !ok {
+		return nil, fmt.Errorf("no public key for %s", holder)
+	}
+	if !p.cfg.PreEncrypt {
+		return pk.Encrypt(p.random, m)
+	}
+	pool := p.poolFor(holder, pk)
+	factor, err := pool.Take(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return pk.EncryptWithFactor(m, factor)
+}
+
+// poolFor returns (lazily creating) the blinding-factor pool for a peer key.
+func (p *Party) poolFor(holder string, pk *paillier.PublicKey) *paillier.NoncePool {
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	if pool, ok := p.pools[holder]; ok {
+		return pool
+	}
+	pool := paillier.NewNoncePool(pk, paillier.PoolConfig{Target: 4, Workers: 1, Random: p.random})
+	p.pools[holder] = pool
+	return pool
+}
+
+// ringAggregate implements the sequential homomorphic accumulation used by
+// Protocols 2–4: the parties in order each fold their encrypted
+// contribution into a running ciphertext, and the final product is sent to
+// sink. Exactly one of the ring members starts the chain.
+//
+// order lists the ring members; every member must call ringAggregate with
+// identical arguments. contribution is this party's plaintext (already
+// fixed-point encoded); keyHolder identifies whose public key encrypts the
+// chain; tag scopes the messages. Members not in order (and the sink)
+// receive the result via ringCollect instead.
+func (p *Party) ringAggregate(ctx context.Context, order []string, keyHolder, sink, tag string, contribution *big.Int) error {
+	pos := -1
+	for i, id := range order {
+		if id == p.ID() {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		return fmt.Errorf("party %s not in ring %s", p.ID(), tag)
+	}
+
+	enc, err := p.encryptUnder(ctx, keyHolder, contribution)
+	if err != nil {
+		return fmt.Errorf("ring %s: encrypt: %w", tag, err)
+	}
+
+	acc := enc
+	if pos > 0 {
+		raw, err := p.conn.Recv(ctx, order[pos-1], tag)
+		if err != nil {
+			return fmt.Errorf("ring %s: recv: %w", tag, err)
+		}
+		var incoming paillier.Ciphertext
+		if err := incoming.UnmarshalBinary(raw); err != nil {
+			return fmt.Errorf("ring %s: decode: %w", tag, err)
+		}
+		pk := p.dir[keyHolder]
+		acc, err = pk.Add(&incoming, enc)
+		if err != nil {
+			return fmt.Errorf("ring %s: fold: %w", tag, err)
+		}
+	}
+
+	next := sink
+	if pos+1 < len(order) {
+		next = order[pos+1]
+	}
+	out, err := acc.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := p.conn.Send(ctx, next, tag, out); err != nil {
+		return fmt.Errorf("ring %s: send: %w", tag, err)
+	}
+	return nil
+}
+
+// ringCollect is the sink side of ringAggregate: receive the final
+// ciphertext from the last ring member and decrypt it.
+func (p *Party) ringCollect(ctx context.Context, order []string, tag string) (*big.Int, error) {
+	if len(order) == 0 {
+		return nil, fmt.Errorf("ring %s: empty ring", tag)
+	}
+	raw, err := p.conn.Recv(ctx, order[len(order)-1], tag)
+	if err != nil {
+		return nil, fmt.Errorf("ring %s: recv final: %w", tag, err)
+	}
+	var ct paillier.Ciphertext
+	if err := ct.UnmarshalBinary(raw); err != nil {
+		return nil, fmt.Errorf("ring %s: decode final: %w", tag, err)
+	}
+	m, err := p.key.Decrypt(&ct)
+	if err != nil {
+		return nil, fmt.Errorf("ring %s: decrypt: %w", tag, err)
+	}
+	return m, nil
+}
+
+// without returns order with the given id removed (order is not mutated).
+func without(order []string, id string) []string {
+	out := make([]string, 0, len(order))
+	for _, x := range order {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// broadcast sends payload to every listed party except self.
+func (p *Party) broadcast(ctx context.Context, to []string, tag string, payload []byte) error {
+	for _, id := range to {
+		if id == p.ID() {
+			continue
+		}
+		if err := p.conn.Send(ctx, id, tag, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

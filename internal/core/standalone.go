@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/transport"
+)
+
+// This file supports standalone deployments where each party runs in its
+// own process (cmd/pem-agent) over TCP, rather than inside an Engine.
+// Protocol 1 line 2 — "Hi generates key pair and shares pki" — is realized
+// by ExchangeKeys.
+
+// keyExchangeTag is the tag for the Paillier public-key broadcast.
+const keyExchangeTag = "keys/paillier"
+
+// NewStandaloneParty creates a self-contained party: it generates its own
+// Paillier key pair and will discover peers' keys via ExchangeKeys.
+func NewStandaloneParty(cfg Config, agent market.Agent, conn transport.Conn) (*Party, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := agent.Validate(); err != nil {
+		return nil, err
+	}
+	if conn == nil {
+		return nil, errors.New("core: nil transport")
+	}
+	if conn.Party() != agent.ID {
+		return nil, fmt.Errorf("core: transport party %q != agent %q", conn.Party(), agent.ID)
+	}
+	key, err := paillier.GenerateKey(partyRandom(cfg, agent.ID, "keygen"), cfg.KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: keygen: %w", err)
+	}
+	return &Party{
+		agent:  agent,
+		cfg:    cfg,
+		conn:   conn,
+		key:    key,
+		dir:    map[string]*paillier.PublicKey{agent.ID: &key.PublicKey},
+		random: partyRandom(cfg, agent.ID, "protocol"),
+		pools:  make(map[string]*paillier.NoncePool),
+	}, nil
+}
+
+// ExchangeKeys broadcasts this party's Paillier public key to every peer
+// and collects theirs, populating the key directory. All parties must call
+// it with the same peer roster (excluding themselves is allowed; the local
+// ID is skipped).
+func (p *Party) ExchangeKeys(ctx context.Context, peers []string) error {
+	raw, err := p.key.PublicKey.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	sorted := append([]string(nil), peers...)
+	sort.Strings(sorted)
+	for _, id := range sorted {
+		if id == p.ID() {
+			continue
+		}
+		if err := p.conn.Send(ctx, id, keyExchangeTag, raw); err != nil {
+			return fmt.Errorf("core: send key to %s: %w", id, err)
+		}
+	}
+	for _, id := range sorted {
+		if id == p.ID() {
+			continue
+		}
+		data, err := p.conn.Recv(ctx, id, keyExchangeTag)
+		if err != nil {
+			return fmt.Errorf("core: recv key from %s: %w", id, err)
+		}
+		var pk paillier.PublicKey
+		if err := pk.UnmarshalBinary(data); err != nil {
+			return fmt.Errorf("core: bad key from %s: %w", id, err)
+		}
+		if pk.Bits() < p.cfg.KeyBits-1 {
+			return fmt.Errorf("core: %s offered a %d-bit key, expected ≥%d", id, pk.Bits(), p.cfg.KeyBits-1)
+		}
+		p.dir[id] = &pk
+	}
+	return nil
+}
+
+// PartyOutcome is the public result of one window as seen by a standalone
+// party, plus the trades it participated in as the initiating side.
+type PartyOutcome struct {
+	Window      int
+	Kind        market.Kind
+	Price       float64
+	Degenerate  bool
+	SellerCount int
+	BuyerCount  int
+	Trades      []market.Trade
+}
+
+// RunTradingWindow executes Protocol 1 for one window from this party's
+// side. Every party in the key directory must call it with the same window
+// number concurrently.
+func (p *Party) RunTradingWindow(ctx context.Context, window int, input market.WindowInput) (*PartyOutcome, error) {
+	if len(p.dir) < 2 {
+		return nil, errors.New("core: key directory not populated; call ExchangeKeys first")
+	}
+	rep, err := p.runWindow(ctx, window, input)
+	if err != nil {
+		return nil, err
+	}
+	return &PartyOutcome{
+		Window:      window,
+		Kind:        rep.kind,
+		Price:       rep.price,
+		Degenerate:  rep.degenerate,
+		SellerCount: rep.sellerCount,
+		BuyerCount:  rep.buyerCount,
+		Trades:      rep.sellerTrades,
+	}, nil
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/pem-go/pem/internal/fixed"
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/paillier"
+)
+
+// roster is the public per-window view every party derives identically:
+// the sorted coalition membership and the hash-selected special parties.
+type roster struct {
+	window  int
+	all     []string // every party, sorted
+	sellers []string // sorted seller coalition
+	buyers  []string // sorted buyer coalition
+
+	hr1 string // random seller decrypting Rb (Protocol 2)
+	hr2 string // random buyer decrypting Rs (Protocol 2)
+	hb  string // random buyer computing the price (Protocol 3)
+	hs  string // random counterparty decrypting ratios (Protocol 4);
+	// a seller in general markets, a buyer in extreme ones (chosen lazily).
+}
+
+func (r *roster) isSeller(id string) bool { return contains(r.sellers, id) }
+func (r *roster) isBuyer(id string) bool  { return contains(r.buyers, id) }
+
+func contains(sorted []string, id string) bool {
+	i := sort.SearchStrings(sorted, id)
+	return i < len(sorted) && sorted[i] == id
+}
+
+// publicCoin derives a deterministic index from the window, the rosters and
+// a domain separator — the shared randomness replacing the paper's
+// "randomly choose H…" without a trusted dealer.
+func publicCoin(window int, domain string, sellers, buyers []string, n int) int {
+	h := sha256.New()
+	fmt.Fprintf(h, "pem/coin/%s/%d", domain, window)
+	for _, s := range sellers {
+		h.Write([]byte{0})
+		h.Write([]byte(s))
+	}
+	for _, b := range buyers {
+		h.Write([]byte{1})
+		h.Write([]byte(b))
+	}
+	sum := h.Sum(nil)
+	v := binary.BigEndian.Uint64(sum[:8])
+	return int(v % uint64(n))
+}
+
+// buildRoster fills the selection fields once coalition membership is known.
+func buildRoster(window int, all, sellers, buyers []string) *roster {
+	r := &roster{window: window, all: all, sellers: sellers, buyers: buyers}
+	if len(sellers) > 0 {
+		r.hr1 = sellers[publicCoin(window, "hr1", sellers, buyers, len(sellers))]
+	}
+	if len(buyers) > 0 {
+		r.hr2 = buyers[publicCoin(window, "hr2", sellers, buyers, len(buyers))]
+		r.hb = buyers[publicCoin(window, "hb", sellers, buyers, len(buyers))]
+	}
+	return r
+}
+
+// windowState carries one party's private view of the current window.
+type windowState struct {
+	window int
+	input  market.WindowInput
+	// snFixed is the fixed-point net energy sn_i^t.
+	snFixed fixed.Value
+	role    market.Role
+	// nonce is the Protocol 2 masking nonce r_i, drawn once per window.
+	nonce uint64
+	ros   *roster
+
+	// Protocol 4 scratch: the demand-side roster for this window and, for
+	// the ring broadcaster, its own copy of the encrypted total.
+	demandSide []string
+	encTotal   *paillier.Ciphertext
+}
+
+// tag builds a window-scoped message tag.
+func (w *windowState) tag(parts string) string {
+	return fmt.Sprintf("w%d/%s", w.window, parts)
+}
+
+// runWindow is Protocol 1 from one party's perspective.
+func (p *Party) runWindow(ctx context.Context, window int, input market.WindowInput) (*partyReport, error) {
+	snFixed, err := fixed.FromFloat(input.NetEnergy())
+	if err != nil {
+		return nil, fmt.Errorf("window %d: net energy: %w", window, err)
+	}
+	st := &windowState{window: window, input: input, snFixed: snFixed}
+	switch {
+	case snFixed > 0:
+		st.role = market.RoleSeller
+	case snFixed < 0:
+		st.role = market.RoleBuyer
+	default:
+		st.role = market.RoleOff
+	}
+	st.nonce, err = p.drawNonce()
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 0: role announcement — coalition membership is public.
+	if err := p.announceRoles(ctx, st); err != nil {
+		return nil, fmt.Errorf("window %d: roles: %w", window, err)
+	}
+	rep := &partyReport{
+		sellerCount: len(st.ros.sellers),
+		buyerCount:  len(st.ros.buyers),
+	}
+
+	// Degenerate coalitions: no protocols; grid handles everything
+	// (Protocol 1 initialization rule).
+	if len(st.ros.sellers) == 0 {
+		rep.kind = market.GeneralMarket
+		rep.price = p.cfg.Params.GridRetailPrice
+		rep.degenerate = true
+		return rep, nil
+	}
+	if len(st.ros.buyers) == 0 {
+		rep.kind = market.ExtremeMarket
+		rep.price = p.cfg.Params.PriceFloor
+		rep.degenerate = true
+		return rep, nil
+	}
+
+	// Phase 1: Private Market Evaluation (Protocol 2).
+	kind, err := p.privateMarketEvaluation(ctx, st)
+	if err != nil {
+		return nil, fmt.Errorf("window %d: market evaluation: %w", window, err)
+	}
+	rep.kind = kind
+
+	// Phase 2: price discovery.
+	if kind == market.GeneralMarket {
+		price, pHat, err := p.privatePricing(ctx, st)
+		if err != nil {
+			return nil, fmt.Errorf("window %d: pricing: %w", window, err)
+		}
+		rep.price = price
+		rep.pHat = pHat
+	} else {
+		rep.price = p.cfg.Params.PriceFloor
+	}
+
+	// Phase 3: Private Distribution (Protocol 4).
+	trades, err := p.privateDistribution(ctx, st, kind, rep.price)
+	if err != nil {
+		return nil, fmt.Errorf("window %d: distribution: %w", window, err)
+	}
+	rep.sellerTrades = trades
+	return rep, nil
+}
+
+// drawNonce samples the Protocol 2 masking nonce in [0, 2^NonceBits).
+func (p *Party) drawNonce() (uint64, error) {
+	var buf [8]byte
+	if _, err := p.random.Read(buf[:]); err != nil {
+		return 0, fmt.Errorf("draw nonce: %w", err)
+	}
+	return binary.BigEndian.Uint64(buf[:]) >> (64 - uint(p.cfg.NonceBits)), nil
+}
+
+// announceRoles broadcasts this party's role and collects everyone else's,
+// then builds the deterministic roster.
+func (p *Party) announceRoles(ctx context.Context, st *windowState) error {
+	tag := st.tag("role")
+	msg := []byte{byte(st.role)}
+	all := make([]string, 0, len(p.dir))
+	for id := range p.dir {
+		all = append(all, id)
+	}
+	sort.Strings(all)
+
+	for _, id := range all {
+		if id == p.ID() {
+			continue
+		}
+		if err := p.conn.Send(ctx, id, tag, msg); err != nil {
+			return err
+		}
+	}
+	var sellers, buyers []string
+	record := func(id string, role market.Role) {
+		switch role {
+		case market.RoleSeller:
+			sellers = append(sellers, id)
+		case market.RoleBuyer:
+			buyers = append(buyers, id)
+		}
+	}
+	record(p.ID(), st.role)
+	for _, id := range all {
+		if id == p.ID() {
+			continue
+		}
+		raw, err := p.conn.Recv(ctx, id, tag)
+		if err != nil {
+			return err
+		}
+		if len(raw) != 1 {
+			return fmt.Errorf("bad role announcement from %s", id)
+		}
+		role := market.Role(raw[0])
+		if role != market.RoleSeller && role != market.RoleBuyer && role != market.RoleOff {
+			return fmt.Errorf("invalid role %d from %s", raw[0], id)
+		}
+		record(id, role)
+	}
+	sort.Strings(sellers)
+	sort.Strings(buyers)
+	st.ros = buildRoster(st.window, all, sellers, buyers)
+	return nil
+}

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the trace as CSV with one row per (home, window):
+//
+//	home_id,solar_cap_kw,base_load_kw,k,epsilon,battery_cap_kwh,window,gen_kwh,load_kwh,battery_kwh
+//
+// This matches the flat layout of the UMass Smart* per-home exports, so
+// downstream users can swap in the real dataset.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"home_id", "solar_cap_kw", "base_load_kw", "k", "epsilon", "battery_cap_kwh", "window", "gen_kwh", "load_kwh", "battery_kwh"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for h, home := range t.Homes {
+		for win := 0; win < t.Windows; win++ {
+			rec := []string{
+				home.ID,
+				f(home.SolarCapKW),
+				f(home.BaseLoadKW),
+				f(home.K),
+				f(home.Epsilon),
+				f(home.BatteryCapKWh),
+				strconv.Itoa(win),
+				f(t.Gen[h][win]),
+				f(t.Load[h][win]),
+				f(t.Battery[h][win]),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("dataset: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or an equivalently shaped
+// real-data export).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("dataset: csv has no data rows")
+	}
+	if len(records[0]) != 10 {
+		return nil, fmt.Errorf("dataset: csv has %d columns, want 10", len(records[0]))
+	}
+
+	tr := &Trace{StartHour: 7}
+	homeIdx := make(map[string]int)
+	type row struct {
+		home   int
+		window int
+		gen    float64
+		load   float64
+		batt   float64
+	}
+	var rows []row
+	maxWindow := -1
+
+	for lineNo, rec := range records[1:] {
+		parse := func(col int) (float64, error) {
+			v, err := strconv.ParseFloat(rec[col], 64)
+			if err != nil {
+				return 0, fmt.Errorf("dataset: line %d col %d: %w", lineNo+2, col+1, err)
+			}
+			return v, nil
+		}
+		id := rec[0]
+		h, ok := homeIdx[id]
+		if !ok {
+			solar, err := parse(1)
+			if err != nil {
+				return nil, err
+			}
+			base, err := parse(2)
+			if err != nil {
+				return nil, err
+			}
+			k, err := parse(3)
+			if err != nil {
+				return nil, err
+			}
+			eps, err := parse(4)
+			if err != nil {
+				return nil, err
+			}
+			cap, err := parse(5)
+			if err != nil {
+				return nil, err
+			}
+			h = len(tr.Homes)
+			homeIdx[id] = h
+			tr.Homes = append(tr.Homes, Home{
+				ID: id, SolarCapKW: solar, BaseLoadKW: base, K: k, Epsilon: eps, BatteryCapKWh: cap,
+			})
+		}
+		win, err := strconv.Atoi(rec[6])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad window: %w", lineNo+2, err)
+		}
+		if win > maxWindow {
+			maxWindow = win
+		}
+		gen, err := parse(7)
+		if err != nil {
+			return nil, err
+		}
+		load, err := parse(8)
+		if err != nil {
+			return nil, err
+		}
+		batt, err := parse(9)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{home: h, window: win, gen: gen, load: load, batt: batt})
+	}
+
+	tr.Windows = maxWindow + 1
+	tr.Gen = make([][]float64, len(tr.Homes))
+	tr.Load = make([][]float64, len(tr.Homes))
+	tr.Battery = make([][]float64, len(tr.Homes))
+	for h := range tr.Homes {
+		tr.Gen[h] = make([]float64, tr.Windows)
+		tr.Load[h] = make([]float64, tr.Windows)
+		tr.Battery[h] = make([]float64, tr.Windows)
+	}
+	for _, rw := range rows {
+		if rw.window < 0 || rw.window >= tr.Windows {
+			return nil, fmt.Errorf("dataset: window %d out of range", rw.window)
+		}
+		tr.Gen[rw.home][rw.window] = rw.gen
+		tr.Load[rw.home][rw.window] = rw.load
+		tr.Battery[rw.home][rw.window] = rw.batt
+	}
+	return tr, nil
+}

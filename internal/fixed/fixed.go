@@ -1,0 +1,180 @@
+// Package fixed provides fixed-point arithmetic for energy quantities and
+// prices exchanged in the PEM protocols.
+//
+// All protocol-visible quantities (net energy, generation, load, battery
+// schedules, utility parameters) are represented as integers in micro-units
+// (1e-6 of the base unit, e.g. micro-kWh or micro-cents) so that they can be
+// encrypted under Paillier, which operates on integers. The package also
+// implements the reciprocal scaling used by Private Distribution
+// (Protocol 4), where a buyer homomorphically multiplies Enc(E_b) by an
+// integer approximation of 1/|sn_j|.
+package fixed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+const (
+	// Scale is the number of micro-units per base unit.
+	Scale = 1_000_000
+
+	// RecipScale is the scaling constant S used to turn the reciprocal
+	// 1/|sn_j| into the integer exponent round(S/|sn_j|) in Protocol 4.
+	RecipScale = 1_000_000_000_000 // 1e12
+)
+
+// Value is a fixed-point quantity in micro-units.
+type Value int64
+
+// Errors returned by conversions.
+var (
+	ErrOverflow  = errors.New("fixed: value overflows int64 micro-units")
+	ErrNotFinite = errors.New("fixed: value is NaN or infinite")
+)
+
+// FromFloat converts a float64 base-unit quantity to a Value, rounding to
+// the nearest micro-unit.
+func FromFloat(f float64) (Value, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, ErrNotFinite
+	}
+	scaled := f * Scale
+	if scaled >= math.MaxInt64 || scaled <= math.MinInt64 {
+		return 0, ErrOverflow
+	}
+	return Value(math.Round(scaled)), nil
+}
+
+// MustFromFloat is FromFloat for known-safe constants; it panics on error.
+// Intended for package-level defaults and tests only.
+func MustFromFloat(f float64) Value {
+	v, err := FromFloat(f)
+	if err != nil {
+		panic(fmt.Sprintf("fixed: MustFromFloat(%v): %v", f, err))
+	}
+	return v
+}
+
+// Float converts v back to a float64 base-unit quantity.
+func (v Value) Float() float64 {
+	return float64(v) / Scale
+}
+
+// Big returns v as a big.Int in micro-units.
+func (v Value) Big() *big.Int {
+	return big.NewInt(int64(v))
+}
+
+// FromBig converts a micro-unit big.Int back to a Value.
+func FromBig(b *big.Int) (Value, error) {
+	if !b.IsInt64() {
+		return 0, ErrOverflow
+	}
+	return Value(b.Int64()), nil
+}
+
+// Abs returns the absolute value of v.
+func (v Value) Abs() Value {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// String renders v with six decimal places.
+func (v Value) String() string {
+	neg := v < 0
+	a := v.Abs()
+	whole := int64(a) / Scale
+	frac := int64(a) % Scale
+	sign := ""
+	if neg {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s%d.%06d", sign, whole, frac)
+}
+
+// Mul returns a*b in micro-units, i.e. (a*b)/Scale with round-to-nearest.
+// It uses 128-bit intermediate arithmetic, so it cannot silently overflow
+// the intermediate product; it returns ErrOverflow if the result does not
+// fit in a Value.
+func Mul(a, b Value) (Value, error) {
+	return mulDiv(a, b, Scale)
+}
+
+// Div returns a/b in micro-units, i.e. (a*Scale)/b with round-to-nearest.
+func Div(a, b Value) (Value, error) {
+	if b == 0 {
+		return 0, errors.New("fixed: division by zero")
+	}
+	return mulDiv(a, Scale, int64(b))
+}
+
+// mulDiv computes round(a*b/den) using 128-bit intermediates.
+func mulDiv(a, b Value, den int64) (Value, error) {
+	neg := false
+	ua, ub, uden := uint64(a), uint64(b), uint64(den)
+	if a < 0 {
+		neg = !neg
+		ua = uint64(-a)
+	}
+	if b < 0 {
+		neg = !neg
+		ub = uint64(-b)
+	}
+	if den < 0 {
+		neg = !neg
+		uden = uint64(-den)
+	}
+	hi, lo := bits.Mul64(ua, ub)
+	if hi >= uden {
+		return 0, ErrOverflow
+	}
+	q, r := bits.Div64(hi, lo, uden)
+	// Round to nearest, ties away from zero.
+	if r >= uden-r {
+		q++
+	}
+	if q > math.MaxInt64 {
+		return 0, ErrOverflow
+	}
+	if neg {
+		return Value(-int64(q)), nil
+	}
+	return Value(int64(q)), nil
+}
+
+// ReciprocalExponent returns the integer exponent k = round(RecipScale/v)
+// used in Protocol 4 to homomorphically compute Enc(E_b * RecipScale / v).
+// v must be strictly positive.
+func ReciprocalExponent(v Value) (*big.Int, error) {
+	if v <= 0 {
+		return nil, fmt.Errorf("fixed: reciprocal of non-positive value %d", v)
+	}
+	num := big.NewInt(RecipScale)
+	den := big.NewInt(int64(v))
+	q, r := new(big.Int).QuoRem(num, den, new(big.Int))
+	// Round to nearest.
+	r.Lsh(r, 1)
+	if r.Cmp(den) >= 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return q, nil
+}
+
+// RatioFromMasked recovers the demand ratio |sn_j| / E_b from the decrypted
+// masked product m = E_b * round(RecipScale/|sn_j|). The chosen seller in
+// Protocol 4 calls this to derive the allocation ratios it broadcasts.
+func RatioFromMasked(masked *big.Int) (float64, error) {
+	if masked.Sign() <= 0 {
+		return 0, fmt.Errorf("fixed: masked ratio must be positive, got %s", masked)
+	}
+	f := new(big.Float).SetInt(masked)
+	s := new(big.Float).SetInt64(RecipScale)
+	ratio, _ := new(big.Float).Quo(s, f).Float64()
+	return ratio, nil
+}

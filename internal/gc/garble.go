@@ -1,0 +1,335 @@
+package gc
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// LabelSize is the wire-label length in bytes (128-bit labels).
+const LabelSize = 16
+
+// Label is a garbled wire label. The low bit of byte 0 is the
+// point-and-permute select bit.
+type Label [LabelSize]byte
+
+func (l Label) permuteBit() int { return int(l[0] & 1) }
+
+func (l Label) xor(o Label) Label {
+	var out Label
+	for i := range l {
+		out[i] = l[i] ^ o[i]
+	}
+	return out
+}
+
+// Options controls garbling behaviour.
+type Options struct {
+	// DisableFreeXOR garbles XOR and NOT gates as full tables.
+	// Used only by the ablation benchmark; keep the default (false).
+	DisableFreeXOR bool
+	// GRR3 enables garbled row reduction: the table row addressed by
+	// select bits (0,0) is defined implicitly as the gate hash, shrinking
+	// every non-free gate from four rows to three (25% less material on
+	// the wire).
+	GRR3 bool
+	// Random overrides the label randomness source (defaults to
+	// crypto/rand).
+	Random io.Reader
+}
+
+func (o Options) rowsPerTable() int {
+	if o.GRR3 {
+		return 3
+	}
+	return 4
+}
+
+// Garbled is the material sent to the evaluator: encrypted gate tables (for
+// non-free gates, in gate order) and the output decode bits.
+type Garbled struct {
+	// Tables holds 4 rows per gate, or 3 with GRR3 (row 0 implicit).
+	Tables [][]Label
+	// GRR3 records whether row reduction was used (the evaluator needs it).
+	GRR3 bool
+	// OutputPerm[i] is the permute bit of the FALSE label of output wire i;
+	// the evaluator decodes bit = permute(activeLabel) ⊕ OutputPerm[i].
+	OutputPerm []byte
+}
+
+// Assignment holds the garbler's secret label pairs for the input wires.
+type Assignment struct {
+	// Garbler[i] is the (false,true) label pair of the garbler's i-th bit.
+	Garbler [][2]Label
+	// Evaluator[i] is the label pair of the evaluator's i-th bit, to be
+	// transferred via OT.
+	Evaluator [][2]Label
+}
+
+// gateHash derives the row pad H(A, B, gateIndex).
+func gateHash(a, b Label, gate int) Label {
+	h := sha256.New()
+	h.Write(a[:])
+	h.Write(b[:])
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(gate))
+	h.Write(idx[:])
+	var out Label
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func randomLabel(random io.Reader) (Label, error) {
+	var l Label
+	if _, err := io.ReadFull(random, l[:]); err != nil {
+		return Label{}, fmt.Errorf("gc: draw label: %w", err)
+	}
+	return l, nil
+}
+
+// Garble garbles the circuit, returning the evaluator material and the
+// garbler's input label pairs.
+func Garble(c *Circuit, opts Options) (*Garbled, *Assignment, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, err
+	}
+	random := opts.Random
+	if random == nil {
+		random = rand.Reader
+	}
+
+	// Global free-XOR offset; select bit forced to 1 so the permute bits of
+	// a label pair always differ.
+	delta, err := randomLabel(random)
+	if err != nil {
+		return nil, nil, err
+	}
+	delta[0] |= 1
+
+	false0 := make([]Label, c.NumWires) // FALSE label per wire
+
+	newWireLabel := func(w int) error {
+		l, err := randomLabel(random)
+		if err != nil {
+			return err
+		}
+		false0[w] = l
+		return nil
+	}
+
+	for _, w := range c.GarblerInput {
+		if err := newWireLabel(w); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, w := range c.EvaluatorInput {
+		if err := newWireLabel(w); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	trueLabel := func(w int) Label { return false0[w].xor(delta) }
+
+	g := &Garbled{GRR3: opts.GRR3}
+	for gi, gate := range c.Gates {
+		free := !opts.DisableFreeXOR && (gate.Kind == GateXOR || gate.Kind == GateNOT)
+		if free {
+			switch gate.Kind {
+			case GateXOR:
+				false0[gate.Out] = false0[gate.In0].xor(false0[gate.In1])
+			case GateNOT:
+				// FALSE of output is TRUE of input.
+				false0[gate.Out] = trueLabel(gate.In0)
+			}
+			continue
+		}
+
+		in1 := gate.In1
+		if gate.Kind == GateNOT {
+			in1 = gate.In0 // degenerate second input; rows still line up
+		}
+		tt := gate.Kind.truthTable()
+
+		if opts.GRR3 {
+			// Garbled row reduction: pick the output labels so the row
+			// addressed by select bits (0,0) encrypts to all-zero and can
+			// be omitted — the evaluator recomputes it as the bare hash.
+			la0, va0 := false0[gate.In0], 0
+			if la0.permuteBit() == 1 {
+				la0, va0 = trueLabel(gate.In0), 1
+			}
+			lb0, vb0 := false0[in1], 0
+			if lb0.permuteBit() == 1 {
+				lb0, vb0 = trueLabel(in1), 1
+			}
+			h00 := gateHash(la0, lb0, gi)
+			if tt[va0<<1|vb0] {
+				false0[gate.Out] = h00.xor(delta)
+			} else {
+				false0[gate.Out] = h00
+			}
+		} else if err := newWireLabel(gate.Out); err != nil {
+			return nil, nil, err
+		}
+
+		rows := opts.rowsPerTable()
+		table := make([]Label, rows)
+		var filled [4]bool
+		if opts.GRR3 {
+			filled[0] = true // implicit row
+		}
+		for _, va := range []int{0, 1} {
+			for _, vb := range []int{0, 1} {
+				if gate.Kind == GateNOT && va != vb {
+					continue // unreachable rows for the degenerate input
+				}
+				la := false0[gate.In0]
+				if va == 1 {
+					la = trueLabel(gate.In0)
+				}
+				lb := false0[in1]
+				if vb == 1 {
+					lb = trueLabel(in1)
+				}
+				row := la.permuteBit()<<1 | lb.permuteBit()
+				if opts.GRR3 && row == 0 {
+					continue // implicit
+				}
+				outLabel := false0[gate.Out]
+				if tt[va<<1|vb] {
+					outLabel = trueLabel(gate.Out)
+				}
+				idx := row
+				if opts.GRR3 {
+					idx = row - 1
+				}
+				table[idx] = gateHash(la, lb, gi).xor(outLabel)
+				filled[row] = true
+			}
+		}
+		// Fill unreachable rows with random junk so tables are
+		// indistinguishable from fully used ones.
+		for row := 0; row < 4; row++ {
+			if filled[row] || (opts.GRR3 && row == 0) {
+				continue
+			}
+			junk, err := randomLabel(random)
+			if err != nil {
+				return nil, nil, err
+			}
+			idx := row
+			if opts.GRR3 {
+				idx = row - 1
+			}
+			table[idx] = junk
+		}
+		g.Tables = append(g.Tables, table)
+	}
+
+	g.OutputPerm = make([]byte, len(c.Outputs))
+	for i, w := range c.Outputs {
+		g.OutputPerm[i] = byte(false0[w].permuteBit())
+	}
+
+	asg := &Assignment{
+		Garbler:   make([][2]Label, len(c.GarblerInput)),
+		Evaluator: make([][2]Label, len(c.EvaluatorInput)),
+	}
+	for i, w := range c.GarblerInput {
+		asg.Garbler[i] = [2]Label{false0[w], trueLabel(w)}
+	}
+	for i, w := range c.EvaluatorInput {
+		asg.Evaluator[i] = [2]Label{false0[w], trueLabel(w)}
+	}
+	return g, asg, nil
+}
+
+// Evaluate walks the garbled circuit with the active input labels and
+// returns the active output labels. garblerLabels/evaluatorLabels are the
+// single active label per input bit, in input order. useFreeXOR must match
+// the garbling options; the GRR3 scheme is carried by the material itself.
+func Evaluate(c *Circuit, g *Garbled, garblerLabels, evaluatorLabels []Label, useFreeXOR bool) ([]Label, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(garblerLabels) != len(c.GarblerInput) {
+		return nil, fmt.Errorf("gc: got %d garbler labels, want %d", len(garblerLabels), len(c.GarblerInput))
+	}
+	if len(evaluatorLabels) != len(c.EvaluatorInput) {
+		return nil, fmt.Errorf("gc: got %d evaluator labels, want %d", len(evaluatorLabels), len(c.EvaluatorInput))
+	}
+
+	active := make([]Label, c.NumWires)
+	for i, w := range c.GarblerInput {
+		active[w] = garblerLabels[i]
+	}
+	for i, w := range c.EvaluatorInput {
+		active[w] = evaluatorLabels[i]
+	}
+
+	wantRows := 4
+	if g.GRR3 {
+		wantRows = 3
+	}
+	tableIdx := 0
+	for gi, gate := range c.Gates {
+		free := useFreeXOR && (gate.Kind == GateXOR || gate.Kind == GateNOT)
+		if free {
+			switch gate.Kind {
+			case GateXOR:
+				active[gate.Out] = active[gate.In0].xor(active[gate.In1])
+			case GateNOT:
+				active[gate.Out] = active[gate.In0] // label carries through
+			}
+			continue
+		}
+		if tableIdx >= len(g.Tables) {
+			return nil, errors.New("gc: garbled material has too few tables")
+		}
+		table := g.Tables[tableIdx]
+		if len(table) != wantRows {
+			return nil, fmt.Errorf("gc: table %d has %d rows, want %d", tableIdx, len(table), wantRows)
+		}
+		in1 := gate.In1
+		if gate.Kind == GateNOT {
+			in1 = gate.In0
+		}
+		la, lb := active[gate.In0], active[in1]
+		row := la.permuteBit()<<1 | lb.permuteBit()
+		pad := gateHash(la, lb, gi)
+		switch {
+		case g.GRR3 && row == 0:
+			active[gate.Out] = pad // implicit all-zero row
+		case g.GRR3:
+			active[gate.Out] = table[row-1].xor(pad)
+		default:
+			active[gate.Out] = table[row].xor(pad)
+		}
+		tableIdx++
+	}
+	if tableIdx != len(g.Tables) {
+		return nil, errors.New("gc: garbled material has too many tables")
+	}
+
+	out := make([]Label, len(c.Outputs))
+	for i, w := range c.Outputs {
+		out[i] = active[w]
+	}
+	return out, nil
+}
+
+// DecodeOutputs converts active output labels into cleartext bits using the
+// garbler-provided permute bits.
+func DecodeOutputs(g *Garbled, outLabels []Label) ([]bool, error) {
+	if len(outLabels) != len(g.OutputPerm) {
+		return nil, fmt.Errorf("gc: got %d output labels, want %d", len(outLabels), len(g.OutputPerm))
+	}
+	bits := make([]bool, len(outLabels))
+	for i, l := range outLabels {
+		bits[i] = l.permuteBit() != int(g.OutputPerm[i])
+	}
+	return bits, nil
+}

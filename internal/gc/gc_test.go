@@ -1,0 +1,515 @@
+package gc
+
+import (
+	"context"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/pem-go/pem/internal/ot"
+	"github.com/pem-go/pem/internal/transport"
+)
+
+func TestGreaterThanPlainTruthTable(t *testing.T) {
+	circ, err := BuildGreaterThan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			out, err := circ.EvalPlain(uintToBits(a, 4), uintToBits(b, 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != (a > b) {
+				t.Errorf("GT(%d, %d) = %v, want %v", a, b, out[0], a > b)
+			}
+		}
+	}
+}
+
+func TestEqualsPlainTruthTable(t *testing.T) {
+	circ, err := BuildEquals(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 8; a++ {
+		for b := uint64(0); b < 8; b++ {
+			out, err := circ.EvalPlain(uintToBits(a, 3), uintToBits(b, 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[0] != (a == b) {
+				t.Errorf("EQ(%d, %d) = %v, want %v", a, b, out[0], a == b)
+			}
+		}
+	}
+}
+
+func TestGreaterThanAndCount(t *testing.T) {
+	// The comparator must cost exactly one AND per bit under free-XOR.
+	circ, err := BuildGreaterThan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := circ.NonFreeGates(); got != 64 {
+		t.Errorf("64-bit comparator uses %d non-free gates, want 64", got)
+	}
+}
+
+func TestCircuitValidateRejectsBadCircuits(t *testing.T) {
+	cases := map[string]*Circuit{
+		"no wires": {},
+		"input out of range": {
+			NumWires:     1,
+			GarblerInput: []int{5},
+		},
+		"gate uses undriven wire": {
+			NumWires:     3,
+			GarblerInput: []int{0},
+			Gates:        []Gate{{Kind: GateAND, In0: 0, In1: 1, Out: 2}},
+		},
+		"gate redrives wire": {
+			NumWires:       3,
+			GarblerInput:   []int{0},
+			EvaluatorInput: []int{1},
+			Gates:          []Gate{{Kind: GateAND, In0: 0, In1: 1, Out: 0}},
+		},
+		"unknown gate kind": {
+			NumWires:       3,
+			GarblerInput:   []int{0},
+			EvaluatorInput: []int{1},
+			Gates:          []Gate{{Kind: GateKind(99), In0: 0, In1: 1, Out: 2}},
+		},
+		"undriven output": {
+			NumWires:     2,
+			GarblerInput: []int{0},
+			Outputs:      []int{1},
+		},
+	}
+	for name, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid circuit", name)
+		}
+	}
+}
+
+// garbleEvalLocal garbles and evaluates the circuit in-process for given
+// plaintext inputs.
+func garbleEvalLocal(t *testing.T, circ *Circuit, gBits, eBits []bool, opts Options) []bool {
+	t.Helper()
+	garbled, asg, err := Garble(circ, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := make([]Label, len(gBits))
+	for i, b := range gBits {
+		if b {
+			gl[i] = asg.Garbler[i][1]
+		} else {
+			gl[i] = asg.Garbler[i][0]
+		}
+	}
+	el := make([]Label, len(eBits))
+	for i, b := range eBits {
+		if b {
+			el[i] = asg.Evaluator[i][1]
+		} else {
+			el[i] = asg.Evaluator[i][0]
+		}
+	}
+	outLabels, err := Evaluate(circ, garbled, gl, el, !opts.DisableFreeXOR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, err := DecodeOutputs(garbled, outLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bits
+}
+
+func TestGarbledMatchesPlainProperty(t *testing.T) {
+	circ, err := BuildGreaterThan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(42))
+	if err := quick.Check(func(a, b uint16) bool {
+		gBits := uintToBits(uint64(a), 16)
+		eBits := uintToBits(uint64(b), 16)
+		got := garbleEvalLocal(t, circ, gBits, eBits, Options{Random: rng})
+		return got[0] == (a > b)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGarbledNoFreeXORMatchesPlain(t *testing.T) {
+	circ, err := BuildGreaterThan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(43))
+	for _, pair := range [][2]uint64{{0, 0}, {5, 3}, {3, 5}, {255, 255}, {128, 127}} {
+		gBits := uintToBits(pair[0], 8)
+		eBits := uintToBits(pair[1], 8)
+		got := garbleEvalLocal(t, circ, gBits, eBits, Options{DisableFreeXOR: true, Random: rng})
+		if got[0] != (pair[0] > pair[1]) {
+			t.Errorf("no-free-xor GT(%d,%d) = %v", pair[0], pair[1], got[0])
+		}
+	}
+}
+
+func TestEqualsGarbled(t *testing.T) {
+	circ, err := BuildEquals(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(44))
+	for _, pair := range [][2]uint64{{7, 7}, {7, 9}, {0, 0}, {255, 0}} {
+		got := garbleEvalLocal(t, circ, uintToBits(pair[0], 8), uintToBits(pair[1], 8), Options{Random: rng})
+		if got[0] != (pair[0] == pair[1]) {
+			t.Errorf("EQ(%d,%d) = %v", pair[0], pair[1], got[0])
+		}
+	}
+}
+
+func TestEvaluateRejectsWrongLabelCounts(t *testing.T) {
+	circ, err := BuildGreaterThan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbled, asg, err := Garble(circ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = asg
+	if _, err := Evaluate(circ, garbled, nil, nil, true); err == nil {
+		t.Error("Evaluate with missing labels: want error")
+	}
+}
+
+func TestMaterialRoundTrip(t *testing.T) {
+	circ, err := BuildGreaterThan(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbled, asg, err := Garble(circ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := make([]Label, 8)
+	for i := range active {
+		active[i] = asg.Garbler[i][0]
+	}
+	raw := encodeMaterial(garbled, active, true)
+	g2, labels, freeXOR, err := decodeMaterial(raw, circ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !freeXOR {
+		t.Error("freeXOR flag lost")
+	}
+	if len(g2.Tables) != len(garbled.Tables) {
+		t.Error("tables lost")
+	}
+	for i := range labels {
+		if labels[i] != active[i] {
+			t.Errorf("label %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeMaterialRejectsCorruption(t *testing.T) {
+	circ, err := BuildGreaterThan(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbled, asg, err := Garble(circ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := make([]Label, 4)
+	for i := range active {
+		active[i] = asg.Garbler[i][0]
+	}
+	raw := encodeMaterial(garbled, active, true)
+	for _, cut := range []int{0, 1, 3, 10, len(raw) - 1} {
+		if _, _, _, err := decodeMaterial(raw[:cut], circ); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Wrong circuit (different width) must be rejected.
+	other, err := BuildGreaterThan(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := decodeMaterial(raw, other); err == nil {
+		t.Error("material for wrong circuit accepted")
+	}
+}
+
+// runSecureCompare drives both protocol roles over an in-memory bus.
+func runSecureCompare(t *testing.T, a, b uint64, bits int, opts ProtocolOptions) (CompareResult, CompareResult) {
+	t.Helper()
+	bus := transport.NewBus(nil)
+	gConn := bus.MustRegister("garbler")
+	eConn := bus.MustRegister("evaluator")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	type res struct {
+		r   CompareResult
+		err error
+	}
+	gc := make(chan res, 1)
+	go func() {
+		r, err := SecureCompareGarbler(ctx, gConn, "evaluator", "cmp", a, bits, opts)
+		gc <- res{r, err}
+	}()
+	er, err := SecureCompareEvaluator(ctx, eConn, "garbler", "cmp", b, bits, opts)
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+	gr := <-gc
+	if gr.err != nil {
+		t.Fatalf("garbler: %v", gr.err)
+	}
+	return gr.r, er
+}
+
+func TestSecureCompareProtocol(t *testing.T) {
+	opts := ProtocolOptions{Group: ot.TestGroup(), Random: mrand.New(mrand.NewSource(7))}
+	cases := []struct {
+		a, b uint64
+		want CompareResult
+	}{
+		{5, 3, LeftGreater},
+		{3, 5, NotGreater},
+		{7, 7, NotGreater},
+		{0, 0, NotGreater},
+		{1 << 40, (1 << 40) - 1, LeftGreater},
+	}
+	for _, c := range cases {
+		gr, er := runSecureCompare(t, c.a, c.b, 48, opts)
+		if gr != c.want || er != c.want {
+			t.Errorf("compare(%d, %d) = garbler %v / evaluator %v, want %v", c.a, c.b, gr, er, c.want)
+		}
+	}
+}
+
+func TestSecureCompareWithOTExtension(t *testing.T) {
+	opts := ProtocolOptions{
+		Group:          ot.TestGroup(),
+		Random:         mrand.New(mrand.NewSource(8)),
+		UseOTExtension: true,
+	}
+	gr, er := runSecureCompare(t, 100, 42, 32, opts)
+	if gr != LeftGreater || er != LeftGreater {
+		t.Errorf("compare(100, 42) with IKNP = %v / %v", gr, er)
+	}
+}
+
+func TestSecureCompareRandomizedAgainstNative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full protocol rounds")
+	}
+	opts := ProtocolOptions{Group: ot.TestGroup(), Random: mrand.New(mrand.NewSource(9))}
+	rng := mrand.New(mrand.NewSource(10))
+	for i := 0; i < 6; i++ {
+		a := rng.Uint64() >> 16
+		b := rng.Uint64() >> 16
+		want := NotGreater
+		if a > b {
+			want = LeftGreater
+		}
+		gr, er := runSecureCompare(t, a, b, 48, opts)
+		if gr != want || er != want {
+			t.Errorf("compare(%d, %d) = %v / %v, want %v", a, b, gr, er, want)
+		}
+	}
+}
+
+func TestGateKindString(t *testing.T) {
+	if GateXOR.String() != "XOR" || GateAND.String() != "AND" ||
+		GateOR.String() != "OR" || GateNOT.String() != "NOT" {
+		t.Error("GateKind strings wrong")
+	}
+	if GateKind(42).String() == "" {
+		t.Error("unknown kind must still render")
+	}
+}
+
+func BenchmarkGarbleComparator64(b *testing.B) {
+	circ, err := BuildGreaterThan(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Garble(circ, Options{Random: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGarbleComparator64NoFreeXOR(b *testing.B) {
+	circ, err := BuildGreaterThan(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Garble(circ, Options{Random: rng, DisableFreeXOR: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluateComparator64(b *testing.B) {
+	circ, err := BuildGreaterThan(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	garbled, asg, err := Garble(circ, Options{Random: rng})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gl := make([]Label, 64)
+	el := make([]Label, 64)
+	for i := 0; i < 64; i++ {
+		gl[i] = asg.Garbler[i][i%2]
+		el[i] = asg.Evaluator[i][(i+1)%2]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(circ, garbled, gl, el, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestGRR3MatchesPlainProperty(t *testing.T) {
+	circ, err := BuildGreaterThan(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(45))
+	if err := quick.Check(func(a, b uint16) bool {
+		gBits := uintToBits(uint64(a), 16)
+		eBits := uintToBits(uint64(b), 16)
+		got := garbleEvalLocal(t, circ, gBits, eBits, Options{GRR3: true, Random: rng})
+		return got[0] == (a > b)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGRR3WithNotGates(t *testing.T) {
+	// BuildEquals uses NOT gates; with GRR3 they garble as reduced tables
+	// when free-XOR is disabled and stay free otherwise.
+	circ, err := BuildEquals(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(46))
+	for _, disableFX := range []bool{false, true} {
+		for _, pair := range [][2]uint64{{9, 9}, {9, 10}, {0, 255}} {
+			got := garbleEvalLocal(t, circ,
+				uintToBits(pair[0], 8), uintToBits(pair[1], 8),
+				Options{GRR3: true, DisableFreeXOR: disableFX, Random: rng})
+			if got[0] != (pair[0] == pair[1]) {
+				t.Errorf("freeXOR-off=%v EQ(%d,%d) = %v", disableFX, pair[0], pair[1], got[0])
+			}
+		}
+	}
+}
+
+func TestGRR3ShrinksTables(t *testing.T) {
+	circ, err := BuildGreaterThan(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(47))
+	g4, _, err := Garble(circ, Options{Random: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, _, err := Garble(circ, Options{GRR3: true, Random: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g4.Tables) != len(g3.Tables) {
+		t.Fatal("table count differs")
+	}
+	for i := range g4.Tables {
+		if len(g4.Tables[i]) != 4 || len(g3.Tables[i]) != 3 {
+			t.Fatalf("row counts: %d vs %d", len(g4.Tables[i]), len(g3.Tables[i]))
+		}
+	}
+}
+
+func TestGRR3ProtocolEndToEnd(t *testing.T) {
+	opts := ProtocolOptions{
+		Group:  ot.TestGroup(),
+		Random: mrand.New(mrand.NewSource(48)),
+		GRR3:   true,
+	}
+	gr, er := runSecureCompare(t, 1000, 999, 32, opts)
+	if gr != LeftGreater || er != LeftGreater {
+		t.Errorf("GRR3 compare(1000, 999) = %v / %v", gr, er)
+	}
+	gr, er = runSecureCompare(t, 999, 1000, 32, opts)
+	if gr != NotGreater || er != NotGreater {
+		t.Errorf("GRR3 compare(999, 1000) = %v / %v", gr, er)
+	}
+}
+
+func TestGRR3MaterialSmallerOnWire(t *testing.T) {
+	circ, err := BuildGreaterThan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(49))
+	g4, asg4, err := Garble(circ, Options{Random: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, asg3, err := Garble(circ, Options{GRR3: true, Random: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	active4 := make([]Label, 64)
+	active3 := make([]Label, 64)
+	for i := 0; i < 64; i++ {
+		active4[i] = asg4.Garbler[i][0]
+		active3[i] = asg3.Garbler[i][0]
+	}
+	raw4 := encodeMaterial(g4, active4, true)
+	raw3 := encodeMaterial(g3, active3, true)
+	saved := len(raw4) - len(raw3)
+	want := 64 * LabelSize // one row per AND gate
+	if saved != want {
+		t.Errorf("GRR3 saved %d bytes, want %d", saved, want)
+	}
+}
+
+func BenchmarkGarbleComparator64GRR3(b *testing.B) {
+	circ, err := BuildGreaterThan(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mrand.New(mrand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Garble(circ, Options{GRR3: true, Random: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

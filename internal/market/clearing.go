@@ -1,0 +1,259 @@
+package market
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Trade is one pairwise transaction: Seller routes Energy kWh to Buyer who
+// pays Payment (cents).
+type Trade struct {
+	Seller  string
+	Buyer   string
+	Energy  float64
+	Payment float64
+}
+
+// AgentOutcome summarizes one agent's window result.
+type AgentOutcome struct {
+	ID   string
+	Role Role
+	// Net is sn_i^t.
+	Net float64
+	// MarketEnergy is the energy traded on the PEM (sold if seller,
+	// bought if buyer).
+	MarketEnergy float64
+	// GridEnergy is the residual routed to/from the main grid (sold if
+	// seller, bought if buyer).
+	GridEnergy float64
+	// Revenue (sellers) or Cost (buyers) in cents, combining market and
+	// grid legs.
+	Revenue float64
+	Cost    float64
+}
+
+// Clearing is the full plaintext result of one trading window.
+type Clearing struct {
+	Kind  Kind
+	PHat  float64 // unclamped Eq. 13 price (0 if extreme market or no sellers)
+	Price float64 // effective trading price p*
+	// Supply and Demand are E_s and E_b.
+	Supply float64
+	Demand float64
+	Trades []Trade
+	// Outcomes indexed by agent position in the input slice.
+	Outcomes []AgentOutcome
+	// SellerIDs and BuyerIDs hold the coalition rosters (sorted).
+	SellerIDs []string
+	BuyerIDs  []string
+}
+
+// GridInteraction is the total energy exchanged with the main grid in this
+// clearing: residual buyer demand plus residual seller surplus.
+func (c *Clearing) GridInteraction() float64 {
+	var total float64
+	for _, o := range c.Outcomes {
+		total += o.GridEnergy
+	}
+	return total
+}
+
+// TotalBuyerCost sums the buyers' costs (Γ^t including grid residue).
+func (c *Clearing) TotalBuyerCost() float64 {
+	var total float64
+	for _, o := range c.Outcomes {
+		if o.Role == RoleBuyer {
+			total += o.Cost
+		}
+	}
+	return total
+}
+
+// Clear computes the plaintext market outcome for one window, the reference
+// against which the cryptographic engine is validated.
+func Clear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, error) {
+	if len(agents) != len(inputs) {
+		return nil, fmt.Errorf("market: %d agents but %d inputs", len(agents), len(inputs))
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	for _, a := range agents {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	c := &Clearing{Outcomes: make([]AgentOutcome, len(agents))}
+	type sellerRec struct {
+		idx int
+		net float64
+	}
+	type buyerRec struct {
+		idx    int
+		demand float64
+	}
+	var sellers []sellerRec
+	var buyers []buyerRec
+	for i, in := range inputs {
+		net := in.NetEnergy()
+		role := ClassifyRole(net)
+		c.Outcomes[i] = AgentOutcome{ID: agents[i].ID, Role: role, Net: net}
+		switch role {
+		case RoleSeller:
+			sellers = append(sellers, sellerRec{idx: i, net: net})
+			c.Supply += net
+			c.SellerIDs = append(c.SellerIDs, agents[i].ID)
+		case RoleBuyer:
+			buyers = append(buyers, buyerRec{idx: i, demand: -net})
+			c.Demand += -net
+			c.BuyerIDs = append(c.BuyerIDs, agents[i].ID)
+		}
+	}
+	sort.Strings(c.SellerIDs)
+	sort.Strings(c.BuyerIDs)
+
+	// Degenerate windows: no sellers ⇒ everyone buys from the grid at
+	// retail (Protocol 1 initialization rule); no buyers ⇒ sellers feed
+	// the grid at pbtg.
+	if len(sellers) == 0 || len(buyers) == 0 {
+		c.Kind = GeneralMarket
+		c.Price = params.GridRetailPrice
+		if len(buyers) == 0 {
+			c.Kind = ExtremeMarket
+			c.Price = params.PriceFloor
+		}
+		for i := range c.Outcomes {
+			o := &c.Outcomes[i]
+			switch o.Role {
+			case RoleBuyer:
+				o.GridEnergy = -o.Net
+				o.Cost = params.GridRetailPrice * o.GridEnergy
+			case RoleSeller:
+				o.GridEnergy = o.Net
+				o.Revenue = params.GridSellPrice * o.GridEnergy
+			}
+		}
+		return c, nil
+	}
+
+	if c.Supply < c.Demand {
+		c.Kind = GeneralMarket
+		sellerParams := make([]SellerParams, len(sellers))
+		for i, s := range sellers {
+			a := agents[s.idx]
+			in := inputs[s.idx]
+			sellerParams[i] = SellerParams{K: a.K, Epsilon: a.Epsilon, Gen: in.Generation, Battery: in.Battery}
+		}
+		pHat, pStar, err := OptimalPrice(sellerParams, params)
+		if err != nil {
+			return nil, err
+		}
+		c.PHat = pHat
+		c.Price = pStar
+
+		// General market: the whole supply is sold; buyer j receives the
+		// share |sn_j| / E_b of each seller's surplus (Section III-D).
+		for _, s := range sellers {
+			for _, b := range buyers {
+				e := s.net * (b.demand / c.Demand)
+				if e <= 0 {
+					continue
+				}
+				c.Trades = append(c.Trades, Trade{
+					Seller:  agents[s.idx].ID,
+					Buyer:   agents[b.idx].ID,
+					Energy:  e,
+					Payment: e * c.Price,
+				})
+			}
+		}
+	} else {
+		c.Kind = ExtremeMarket
+		c.Price = params.PriceFloor
+
+		// Extreme market: the whole demand is covered; seller i contributes
+		// the share sn_i / E_s of each buyer's demand (Section III-D).
+		for _, s := range sellers {
+			for _, b := range buyers {
+				e := b.demand * (s.net / c.Supply)
+				if e <= 0 {
+					continue
+				}
+				c.Trades = append(c.Trades, Trade{
+					Seller:  agents[s.idx].ID,
+					Buyer:   agents[b.idx].ID,
+					Energy:  e,
+					Payment: e * c.Price,
+				})
+			}
+		}
+	}
+
+	// Aggregate per-agent outcomes.
+	idxByID := make(map[string]int, len(agents))
+	for i, a := range agents {
+		idxByID[a.ID] = i
+	}
+	for _, tr := range c.Trades {
+		si := idxByID[tr.Seller]
+		bi := idxByID[tr.Buyer]
+		c.Outcomes[si].MarketEnergy += tr.Energy
+		c.Outcomes[si].Revenue += tr.Payment
+		c.Outcomes[bi].MarketEnergy += tr.Energy
+		c.Outcomes[bi].Cost += tr.Payment
+	}
+	for i := range c.Outcomes {
+		o := &c.Outcomes[i]
+		switch o.Role {
+		case RoleSeller:
+			// Unsold surplus goes to the grid at pbtg.
+			residual := o.Net - o.MarketEnergy
+			if residual > offMarketEpsilon {
+				o.GridEnergy = residual
+				o.Revenue += params.GridSellPrice * residual
+			}
+		case RoleBuyer:
+			// Uncovered demand comes from the grid at retail.
+			residual := -o.Net - o.MarketEnergy
+			if residual > offMarketEpsilon {
+				o.GridEnergy = residual
+				o.Cost += params.GridRetailPrice * residual
+			}
+		}
+	}
+	return c, nil
+}
+
+// BaselineClear computes the paper's benchmark: no PEM, every agent trades
+// only with the main grid (sellers feed in at pbtg, buyers draw at retail).
+func BaselineClear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, error) {
+	if len(agents) != len(inputs) {
+		return nil, fmt.Errorf("market: %d agents but %d inputs", len(agents), len(inputs))
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Clearing{Kind: GeneralMarket, Price: params.GridRetailPrice, Outcomes: make([]AgentOutcome, len(agents))}
+	for i, in := range inputs {
+		net := in.NetEnergy()
+		role := ClassifyRole(net)
+		o := AgentOutcome{ID: agents[i].ID, Role: role, Net: net}
+		switch role {
+		case RoleSeller:
+			c.Supply += net
+			o.GridEnergy = net
+			o.Revenue = params.GridSellPrice * net
+			c.SellerIDs = append(c.SellerIDs, agents[i].ID)
+		case RoleBuyer:
+			c.Demand += -net
+			o.GridEnergy = -net
+			o.Cost = params.GridRetailPrice * -net
+			c.BuyerIDs = append(c.BuyerIDs, agents[i].ID)
+		}
+		c.Outcomes[i] = o
+	}
+	sort.Strings(c.SellerIDs)
+	sort.Strings(c.BuyerIDs)
+	return c, nil
+}

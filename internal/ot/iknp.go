@@ -1,0 +1,215 @@
+package ot
+
+import (
+	"context"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/pem-go/pem/internal/transport"
+)
+
+// kappa is the computational security parameter of the IKNP extension: the
+// number of base OTs and the width (in bits) of the correlation vector s.
+const kappa = 128
+
+// Protocol tags for the extension phase.
+const (
+	tagExtU = "ot/iknp/u"
+	tagExtY = "ot/iknp/y"
+)
+
+// SendExtension runs the sender side of an IKNP OT extension transferring
+// len(pairs) messages. Internally the roles of the base OT are reversed:
+// the extension sender acts as base-OT receiver with a random correlation
+// vector s.
+func SendExtension(ctx context.Context, conn transport.Conn, peer, session string, grp *Group, random io.Reader, pairs []Pair) error {
+	if err := validatePairs(pairs); err != nil {
+		return err
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	m := len(pairs)
+	colBytes := (m + 7) / 8
+
+	// Draw the secret correlation vector s.
+	sBits := make([]bool, kappa)
+	var sRow [kappa / 8]byte
+	if _, err := io.ReadFull(random, sRow[:]); err != nil {
+		return fmt.Errorf("ot: draw s: %w", err)
+	}
+	for i := 0; i < kappa; i++ {
+		sBits[i] = sRow[i/8]&(1<<(i%8)) != 0
+	}
+
+	// Base OTs, reversed roles: we receive seeds k_i^{s_i}.
+	seeds, err := RecvBase(ctx, conn, peer, session+"/base", grp, random, sBits)
+	if err != nil {
+		return fmt.Errorf("ot: extension base phase: %w", err)
+	}
+
+	// Receive the masked columns u_i and build Q column by column:
+	// q_i = PRG(k_i^{s_i}) ⊕ s_i·u_i  (so q_i = t_i ⊕ s_i·r).
+	uRaw, err := conn.Recv(ctx, peer, session+tagExtU)
+	if err != nil {
+		return fmt.Errorf("ot: recv u columns: %w", err)
+	}
+	if len(uRaw) != kappa*colBytes {
+		return fmt.Errorf("ot: u matrix has %d bytes, want %d", len(uRaw), kappa*colBytes)
+	}
+	qCols := make([][]byte, kappa)
+	for i := 0; i < kappa; i++ {
+		col, err := prg(seeds[i], colBytes)
+		if err != nil {
+			return err
+		}
+		if sBits[i] {
+			u := uRaw[i*colBytes : (i+1)*colBytes]
+			for b := range col {
+				col[b] ^= u[b]
+			}
+		}
+		qCols[i] = col
+	}
+	qRows := transposeToRows(qCols, m)
+
+	// y_j^0 = m_j^0 ⊕ H(j, q_j); y_j^1 = m_j^1 ⊕ H(j, q_j ⊕ s).
+	out := make([]byte, 0, m*2*KeySize)
+	for j := 0; j < m; j++ {
+		h0 := rowHash(uint64(j), qRows[j])
+		qs := xorBytes(qRows[j], sRow[:])
+		h1 := rowHash(uint64(j), qs)
+		out = append(out, xorBytes(pairs[j].M0, h0)...)
+		out = append(out, xorBytes(pairs[j].M1, h1)...)
+	}
+	if err := conn.Send(ctx, peer, session+tagExtY, out); err != nil {
+		return fmt.Errorf("ot: send y pairs: %w", err)
+	}
+	return nil
+}
+
+// RecvExtension runs the receiver side of the IKNP OT extension for the
+// given choice bits and returns the chosen messages.
+func RecvExtension(ctx context.Context, conn transport.Conn, peer, session string, grp *Group, random io.Reader, choices []bool) ([][]byte, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	m := len(choices)
+	colBytes := (m + 7) / 8
+
+	// Choice bits packed as the r column.
+	rCol := make([]byte, colBytes)
+	for j, c := range choices {
+		if c {
+			rCol[j/8] |= 1 << (j % 8)
+		}
+	}
+
+	// Seed pairs for the reversed base OTs.
+	basePairs := make([]Pair, kappa)
+	for i := range basePairs {
+		k0 := make([]byte, KeySize)
+		k1 := make([]byte, KeySize)
+		if _, err := io.ReadFull(random, k0); err != nil {
+			return nil, fmt.Errorf("ot: draw seed: %w", err)
+		}
+		if _, err := io.ReadFull(random, k1); err != nil {
+			return nil, fmt.Errorf("ot: draw seed: %w", err)
+		}
+		basePairs[i] = Pair{M0: k0, M1: k1}
+	}
+	if err := SendBase(ctx, conn, peer, session+"/base", grp, random, basePairs); err != nil {
+		return nil, fmt.Errorf("ot: extension base phase: %w", err)
+	}
+
+	// t_i = PRG(k_i^0); u_i = t_i ⊕ PRG(k_i^1) ⊕ r.
+	tCols := make([][]byte, kappa)
+	uOut := make([]byte, 0, kappa*colBytes)
+	for i := 0; i < kappa; i++ {
+		t, err := prg(basePairs[i].M0, colBytes)
+		if err != nil {
+			return nil, err
+		}
+		tCols[i] = t
+		g1, err := prg(basePairs[i].M1, colBytes)
+		if err != nil {
+			return nil, err
+		}
+		u := make([]byte, colBytes)
+		for b := 0; b < colBytes; b++ {
+			u[b] = t[b] ^ g1[b] ^ rCol[b]
+		}
+		uOut = append(uOut, u...)
+	}
+	if err := conn.Send(ctx, peer, session+tagExtU, uOut); err != nil {
+		return nil, fmt.Errorf("ot: send u columns: %w", err)
+	}
+
+	yRaw, err := conn.Recv(ctx, peer, session+tagExtY)
+	if err != nil {
+		return nil, fmt.Errorf("ot: recv y pairs: %w", err)
+	}
+	if len(yRaw) != m*2*KeySize {
+		return nil, fmt.Errorf("ot: y batch has %d bytes, want %d", len(yRaw), m*2*KeySize)
+	}
+
+	tRows := transposeToRows(tCols, m)
+	out := make([][]byte, m)
+	for j := 0; j < m; j++ {
+		h := rowHash(uint64(j), tRows[j])
+		ct := yRaw[j*2*KeySize : (j+1)*2*KeySize]
+		if choices[j] {
+			out[j] = xorBytes(ct[KeySize:], h)
+		} else {
+			out[j] = xorBytes(ct[:KeySize], h)
+		}
+	}
+	return out, nil
+}
+
+// prg expands a KeySize seed into n pseudorandom bytes with AES-128-CTR.
+func prg(seed []byte, n int) ([]byte, error) {
+	block, err := aes.NewCipher(seed)
+	if err != nil {
+		return nil, fmt.Errorf("ot: prg: %w", err)
+	}
+	out := make([]byte, n)
+	var iv [aes.BlockSize]byte
+	cipher.NewCTR(block, iv[:]).XORKeyStream(out, out)
+	return out, nil
+}
+
+// transposeToRows converts kappa columns of m bits into m rows of kappa
+// bits (kappa/8 bytes each).
+func transposeToRows(cols [][]byte, m int) [][]byte {
+	rows := make([][]byte, m)
+	rowLen := kappa / 8
+	backing := make([]byte, m*rowLen)
+	for j := 0; j < m; j++ {
+		rows[j] = backing[j*rowLen : (j+1)*rowLen]
+	}
+	for i := 0; i < kappa; i++ {
+		col := cols[i]
+		for j := 0; j < m; j++ {
+			if col[j/8]&(1<<(j%8)) != 0 {
+				rows[j][i/8] |= 1 << (i % 8)
+			}
+		}
+	}
+	return rows
+}
+
+// rowHash is the correlation-robust hash H(j, row) truncated to KeySize.
+func rowHash(j uint64, row []byte) []byte {
+	h := sha256.New()
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], j)
+	h.Write(idx[:])
+	h.Write(row)
+	return h.Sum(nil)[:KeySize]
+}

@@ -1,0 +1,289 @@
+package ot
+
+import (
+	"bytes"
+	"context"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"time"
+
+	"github.com/pem-go/pem/internal/transport"
+)
+
+func testConnPair(t *testing.T) (transport.Conn, transport.Conn) {
+	t.Helper()
+	bus := transport.NewBus(nil)
+	s := bus.MustRegister("sender")
+	r := bus.MustRegister("receiver")
+	t.Cleanup(func() {
+		s.Close()
+		r.Close()
+	})
+	return s, r
+}
+
+func randomPairs(rng *mrand.Rand, n int) []Pair {
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		m0 := make([]byte, KeySize)
+		m1 := make([]byte, KeySize)
+		rng.Read(m0)
+		rng.Read(m1)
+		pairs[i] = Pair{M0: m0, M1: m1}
+	}
+	return pairs
+}
+
+func randomChoices(rng *mrand.Rand, n int) []bool {
+	choices := make([]bool, n)
+	for i := range choices {
+		choices[i] = rng.Intn(2) == 1
+	}
+	return choices
+}
+
+// runOT drives both sides concurrently and verifies the receiver got
+// exactly the chosen messages.
+func runOT(t *testing.T, send func(ctx context.Context) error, recv func(ctx context.Context) ([][]byte, error), pairs []Pair, choices []bool) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() { errc <- send(ctx) }()
+	got, err := recv(ctx)
+	if err != nil {
+		t.Fatalf("receiver: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	if len(got) != len(choices) {
+		t.Fatalf("got %d messages, want %d", len(got), len(choices))
+	}
+	for i, c := range choices {
+		want := pairs[i].M0
+		other := pairs[i].M1
+		if c {
+			want, other = other, want
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Errorf("transfer %d: wrong message", i)
+		}
+		if bytes.Equal(got[i], other) {
+			t.Errorf("transfer %d: received the non-chosen message", i)
+		}
+	}
+}
+
+func TestBaseOT(t *testing.T) {
+	sConn, rConn := testConnPair(t)
+	grp := TestGroup()
+	rng := mrand.New(mrand.NewSource(1))
+	pairs := randomPairs(rng, 8)
+	choices := randomChoices(rng, 8)
+
+	runOT(t,
+		func(ctx context.Context) error {
+			return SendBase(ctx, sConn, "receiver", "s1", grp, mrand.New(mrand.NewSource(2)), pairs)
+		},
+		func(ctx context.Context) ([][]byte, error) {
+			return RecvBase(ctx, rConn, "sender", "s1", grp, mrand.New(mrand.NewSource(3)), choices)
+		},
+		pairs, choices)
+}
+
+func TestBaseOTAllZeroAndAllOneChoices(t *testing.T) {
+	for name, bit := range map[string]bool{"zeros": false, "ones": true} {
+		t.Run(name, func(t *testing.T) {
+			sConn, rConn := testConnPair(t)
+			grp := TestGroup()
+			rng := mrand.New(mrand.NewSource(4))
+			pairs := randomPairs(rng, 4)
+			choices := make([]bool, 4)
+			for i := range choices {
+				choices[i] = bit
+			}
+			runOT(t,
+				func(ctx context.Context) error {
+					return SendBase(ctx, sConn, "receiver", "s2", grp, mrand.New(mrand.NewSource(5)), pairs)
+				},
+				func(ctx context.Context) ([][]byte, error) {
+					return RecvBase(ctx, rConn, "sender", "s2", grp, mrand.New(mrand.NewSource(6)), choices)
+				},
+				pairs, choices)
+		})
+	}
+}
+
+func TestBaseOTRejectsBadMessageLength(t *testing.T) {
+	sConn, _ := testConnPair(t)
+	grp := TestGroup()
+	bad := []Pair{{M0: []byte("short"), M1: make([]byte, KeySize)}}
+	if err := SendBase(context.Background(), sConn, "receiver", "s3", grp, nil, bad); err == nil {
+		t.Error("want error for short message")
+	}
+}
+
+func TestIKNPExtension(t *testing.T) {
+	sConn, rConn := testConnPair(t)
+	grp := TestGroup()
+	rng := mrand.New(mrand.NewSource(7))
+	const n = 300 // more transfers than base OTs, exercising the extension
+	pairs := randomPairs(rng, n)
+	choices := randomChoices(rng, n)
+
+	runOT(t,
+		func(ctx context.Context) error {
+			return SendExtension(ctx, sConn, "receiver", "x1", grp, mrand.New(mrand.NewSource(8)), pairs)
+		},
+		func(ctx context.Context) ([][]byte, error) {
+			return RecvExtension(ctx, rConn, "sender", "x1", grp, mrand.New(mrand.NewSource(9)), choices)
+		},
+		pairs, choices)
+}
+
+func TestIKNPSmallBatch(t *testing.T) {
+	// Fewer transfers than kappa still works (m < 128).
+	sConn, rConn := testConnPair(t)
+	grp := TestGroup()
+	rng := mrand.New(mrand.NewSource(10))
+	pairs := randomPairs(rng, 3)
+	choices := randomChoices(rng, 3)
+
+	runOT(t,
+		func(ctx context.Context) error {
+			return SendExtension(ctx, sConn, "receiver", "x2", grp, mrand.New(mrand.NewSource(11)), pairs)
+		},
+		func(ctx context.Context) ([][]byte, error) {
+			return RecvExtension(ctx, rConn, "sender", "x2", grp, mrand.New(mrand.NewSource(12)), choices)
+		},
+		pairs, choices)
+}
+
+func TestMultipleSessionsShareConn(t *testing.T) {
+	// Two OT batches with different session prefixes over the same Conn
+	// must not interfere.
+	sConn, rConn := testConnPair(t)
+	grp := TestGroup()
+	rng := mrand.New(mrand.NewSource(13))
+	pairsA := randomPairs(rng, 4)
+	choicesA := randomChoices(rng, 4)
+	pairsB := randomPairs(rng, 4)
+	choicesB := randomChoices(rng, 4)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	errc := make(chan error, 2)
+	go func() {
+		errc <- SendBase(ctx, sConn, "receiver", "A", grp, mrand.New(mrand.NewSource(14)), pairsA)
+	}()
+	go func() {
+		errc <- SendBase(ctx, sConn, "receiver", "B", grp, mrand.New(mrand.NewSource(15)), pairsB)
+	}()
+
+	gotB, err := RecvBase(ctx, rConn, "sender", "B", grp, mrand.New(mrand.NewSource(16)), choicesB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA, err := RecvBase(ctx, rConn, "sender", "A", grp, mrand.New(mrand.NewSource(17)), choicesA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range choicesA {
+		want := pairsA[i].M0
+		if c {
+			want = pairsA[i].M1
+		}
+		if !bytes.Equal(gotA[i], want) {
+			t.Errorf("session A transfer %d wrong", i)
+		}
+	}
+	for i, c := range choicesB {
+		want := pairsB[i].M0
+		if c {
+			want = pairsB[i].M1
+		}
+		if !bytes.Equal(gotB[i], want) {
+			t.Errorf("session B transfer %d wrong", i)
+		}
+	}
+}
+
+func TestDefaultGroupSanity(t *testing.T) {
+	grp := DefaultGroup()
+	if grp.P.BitLen() != 2048 {
+		t.Errorf("default group modulus is %d bits, want 2048", grp.P.BitLen())
+	}
+	if !grp.P.ProbablyPrime(20) {
+		t.Error("default group modulus is not prime")
+	}
+}
+
+func TestTestGroupSanity(t *testing.T) {
+	grp := TestGroup()
+	if !grp.P.ProbablyPrime(20) {
+		t.Error("test group modulus is not prime")
+	}
+	// Safe prime: (p-1)/2 is prime too.
+	q := new(big.Int).Rsh(new(big.Int).Sub(grp.P, big.NewInt(1)), 1)
+	if !q.ProbablyPrime(20) {
+		t.Error("test group modulus is not a safe prime")
+	}
+}
+
+func TestSplitBigsErrors(t *testing.T) {
+	if _, err := splitBigs([]byte{1, 2}, 1); err == nil {
+		t.Error("truncated batch: want error")
+	}
+	payload := appendBig(nil, big.NewInt(5))
+	payload = append(payload, 0xaa)
+	if _, err := splitBigs(payload, 1); err == nil {
+		t.Error("trailing bytes: want error")
+	}
+}
+
+func BenchmarkBaseOT64(b *testing.B) {
+	benchOT(b, 64, func(ctx context.Context, s transport.Conn, pairs []Pair) error {
+		return SendBase(ctx, s, "receiver", "b", DefaultGroup(), nil, pairs)
+	}, func(ctx context.Context, r transport.Conn, choices []bool) ([][]byte, error) {
+		return RecvBase(ctx, r, "sender", "b", DefaultGroup(), nil, choices)
+	})
+}
+
+func BenchmarkIKNP64(b *testing.B) {
+	benchOT(b, 64, func(ctx context.Context, s transport.Conn, pairs []Pair) error {
+		return SendExtension(ctx, s, "receiver", "b", DefaultGroup(), nil, pairs)
+	}, func(ctx context.Context, r transport.Conn, choices []bool) ([][]byte, error) {
+		return RecvExtension(ctx, r, "sender", "b", DefaultGroup(), nil, choices)
+	})
+}
+
+func benchOT(b *testing.B, n int, send func(context.Context, transport.Conn, []Pair) error, recv func(context.Context, transport.Conn, []bool) ([][]byte, error)) {
+	rng := mrand.New(mrand.NewSource(1))
+	pairs := randomPairs(rng, n)
+	choices := randomChoices(rng, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus := transport.NewBus(nil)
+		s := bus.MustRegister("sender")
+		r := bus.MustRegister("receiver")
+		ctx := context.Background()
+		errc := make(chan error, 1)
+		go func() { errc <- send(ctx, s, pairs) }()
+		if _, err := recv(ctx, r, choices); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package paillier
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Wire format: every big.Int is encoded as a uint32 big-endian length
+// followed by the magnitude bytes (values are always non-negative on the
+// wire). Keys and ciphertexts use this shared primitive.
+
+func appendBig(dst []byte, x *big.Int) []byte {
+	b := x.Bytes()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	dst = append(dst, lenBuf[:]...)
+	return append(dst, b...)
+}
+
+func readBig(src []byte) (*big.Int, []byte, error) {
+	if len(src) < 4 {
+		return nil, nil, errors.New("paillier: truncated length prefix")
+	}
+	n := binary.BigEndian.Uint32(src)
+	src = src[4:]
+	if uint32(len(src)) < n {
+		return nil, nil, errors.New("paillier: truncated big.Int body")
+	}
+	return new(big.Int).SetBytes(src[:n]), src[n:], nil
+}
+
+// MarshalBinary encodes the public key (just n; n² is recomputed).
+func (pk *PublicKey) MarshalBinary() ([]byte, error) {
+	if pk.N == nil {
+		return nil, errors.New("paillier: nil public key")
+	}
+	return appendBig(nil, pk.N), nil
+}
+
+// UnmarshalBinary decodes a public key produced by MarshalBinary.
+func (pk *PublicKey) UnmarshalBinary(data []byte) error {
+	n, rest, err := readBig(data)
+	if err != nil {
+		return fmt.Errorf("decode public key: %w", err)
+	}
+	if len(rest) != 0 {
+		return errors.New("paillier: trailing bytes after public key")
+	}
+	if n.BitLen() < 8 {
+		return errors.New("paillier: implausibly small modulus")
+	}
+	pk.N = n
+	pk.N2 = new(big.Int).Mul(n, n)
+	return nil
+}
+
+// MarshalBinary encodes the ciphertext value.
+func (c *Ciphertext) MarshalBinary() ([]byte, error) {
+	if c.C == nil {
+		return nil, errors.New("paillier: nil ciphertext")
+	}
+	return appendBig(nil, c.C), nil
+}
+
+// UnmarshalBinary decodes a ciphertext produced by MarshalBinary.
+func (c *Ciphertext) UnmarshalBinary(data []byte) error {
+	v, rest, err := readBig(data)
+	if err != nil {
+		return fmt.Errorf("decode ciphertext: %w", err)
+	}
+	if len(rest) != 0 {
+		return errors.New("paillier: trailing bytes after ciphertext")
+	}
+	c.C = v
+	return nil
+}
+
+// MarshalBinary encodes the private key (p and q; everything else is
+// recomputed). Intended for checkpointing agents to disk, never the wire.
+func (sk *PrivateKey) MarshalBinary() ([]byte, error) {
+	if sk.p == nil || sk.q == nil {
+		return nil, errors.New("paillier: nil private key")
+	}
+	return appendBig(appendBig(nil, sk.p), sk.q), nil
+}
+
+// UnmarshalBinary decodes a private key produced by MarshalBinary.
+func (sk *PrivateKey) UnmarshalBinary(data []byte) error {
+	p, rest, err := readBig(data)
+	if err != nil {
+		return fmt.Errorf("decode private key p: %w", err)
+	}
+	q, rest, err := readBig(rest)
+	if err != nil {
+		return fmt.Errorf("decode private key q: %w", err)
+	}
+	if len(rest) != 0 {
+		return errors.New("paillier: trailing bytes after private key")
+	}
+	key, err := newPrivateKey(p, q)
+	if err != nil {
+		return err
+	}
+	*sk = *key
+	return nil
+}

@@ -1,0 +1,394 @@
+// Package paillier implements the Paillier additively homomorphic public-key
+// cryptosystem (Paillier, EUROCRYPT '99), the primary cryptographic building
+// block of the PEM protocols (Section IV-A of the paper).
+//
+// Supported operations:
+//
+//   - key generation (512/1024/2048-bit moduli, matching the paper's sweep)
+//   - encryption with the fast generator g = n+1
+//   - decryption, both the textbook L-function path and a CRT-accelerated
+//     path (the default)
+//   - homomorphic addition of ciphertexts (ciphertext multiplication mod n²),
+//     addition of a plaintext constant, and multiplication by a plaintext
+//     scalar (ciphertext exponentiation), which Protocol 4 uses for the
+//     reciprocal trick
+//   - signed plaintext encoding in [-n/2, n/2)
+//   - compact binary serialization of keys and ciphertexts for the wire
+//
+// The package is deterministic given the caller-provided randomness source,
+// which the test suite exploits; production callers pass crypto/rand.Reader.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+var (
+	one = big.NewInt(1)
+	two = big.NewInt(2)
+
+	// ErrMessageTooLarge is returned when a plaintext does not fit the
+	// signed embedding range of the key.
+	ErrMessageTooLarge = errors.New("paillier: message out of range for key")
+	// ErrInvalidCiphertext is returned when a ciphertext is not an element
+	// of Z*_{n²}.
+	ErrInvalidCiphertext = errors.New("paillier: invalid ciphertext")
+	// ErrKeyMismatch is returned when combining ciphertexts from different
+	// keys.
+	ErrKeyMismatch = errors.New("paillier: ciphertexts under different keys")
+)
+
+// PublicKey holds the public parameters (n, g=n+1).
+type PublicKey struct {
+	N  *big.Int // modulus
+	N2 *big.Int // n²
+}
+
+// PrivateKey holds the factorization and precomputed CRT constants.
+type PrivateKey struct {
+	PublicKey
+	p, q *big.Int
+
+	// Textbook parameters.
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^lambda mod n²))^{-1} mod n
+
+	// CRT acceleration.
+	p2, q2    *big.Int // p², q²
+	hp, hq    *big.Int // L_p(g^{p-1} mod p²)^{-1} mod p, resp. q
+	pInvQ     *big.Int // p^{-1} mod q
+	pMinusOne *big.Int
+	qMinusOne *big.Int
+}
+
+// Ciphertext is a Paillier ciphertext c ∈ Z*_{n²}.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// GenerateKey creates a Paillier key pair with an n of the given bit length.
+// bits must be at least 64 (tiny keys are for tests only; use ≥2048 in any
+// real deployment).
+func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
+	if bits < 64 {
+		return nil, fmt.Errorf("paillier: modulus size %d too small (min 64)", bits)
+	}
+	if random == nil {
+		random = rand.Reader
+	}
+	for {
+		p, err := rand.Prime(random, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("generate p: %w", err)
+		}
+		q, err := rand.Prime(random, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("generate q: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		key, err := newPrivateKey(p, q)
+		if err != nil {
+			// Degenerate primes (gcd(n, φ(n)) ≠ 1); retry.
+			continue
+		}
+		return key, nil
+	}
+}
+
+func newPrivateKey(p, q *big.Int) (*PrivateKey, error) {
+	n := new(big.Int).Mul(p, q)
+	n2 := new(big.Int).Mul(n, n)
+
+	pm1 := new(big.Int).Sub(p, one)
+	qm1 := new(big.Int).Sub(q, one)
+	gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+	lambda := new(big.Int).Div(new(big.Int).Mul(pm1, qm1), gcd)
+
+	// g = n+1 ⇒ g^lambda mod n² = 1 + lambda*n, so
+	// L(g^lambda) = lambda mod n and mu = lambda^{-1} mod n.
+	mu := new(big.Int).ModInverse(new(big.Int).Mod(lambda, n), n)
+	if mu == nil {
+		return nil, errors.New("paillier: lambda not invertible mod n")
+	}
+
+	p2 := new(big.Int).Mul(p, p)
+	q2 := new(big.Int).Mul(q, q)
+
+	// h_p = L_p(g^{p-1} mod p²)^{-1} mod p with g = n+1:
+	// g^{p-1} mod p² = (1+n)^{p-1} = 1 + (p-1)n mod p², so
+	// L_p = ((p-1)n mod p²)/p mod p.
+	hp, err := hConstant(n, p, p2, pm1)
+	if err != nil {
+		return nil, err
+	}
+	hq, err := hConstant(n, q, q2, qm1)
+	if err != nil {
+		return nil, err
+	}
+	pInvQ := new(big.Int).ModInverse(p, q)
+	if pInvQ == nil {
+		return nil, errors.New("paillier: p not invertible mod q")
+	}
+
+	return &PrivateKey{
+		PublicKey: PublicKey{N: n, N2: n2},
+		p:         p,
+		q:         q,
+		lambda:    lambda,
+		mu:        mu,
+		p2:        p2,
+		q2:        q2,
+		hp:        hp,
+		hq:        hq,
+		pInvQ:     pInvQ,
+		pMinusOne: pm1,
+		qMinusOne: qm1,
+	}, nil
+}
+
+// hConstant computes L_r(g^{r-1} mod r²)^{-1} mod r for r ∈ {p, q}.
+func hConstant(n, r, r2, rm1 *big.Int) (*big.Int, error) {
+	g := new(big.Int).Add(n, one)
+	x := new(big.Int).Exp(g, rm1, r2)
+	l := lFunc(x, r)
+	h := new(big.Int).ModInverse(l, r)
+	if h == nil {
+		return nil, errors.New("paillier: CRT constant not invertible")
+	}
+	return h, nil
+}
+
+// lFunc computes L_r(x) = (x-1)/r.
+func lFunc(x, r *big.Int) *big.Int {
+	return new(big.Int).Div(new(big.Int).Sub(x, one), r)
+}
+
+// Bits returns the modulus size in bits.
+func (pk *PublicKey) Bits() int { return pk.N.BitLen() }
+
+// MaxSigned returns the largest magnitude representable by the signed
+// encoding, i.e. values v with |v| < n/2 round-trip.
+func (pk *PublicKey) MaxSigned() *big.Int {
+	return new(big.Int).Rsh(pk.N, 1)
+}
+
+// EncodeSigned maps a signed integer into Z_n (negative values wrap to
+// n - |v|). It returns ErrMessageTooLarge when |v| ≥ n/2.
+func (pk *PublicKey) EncodeSigned(v *big.Int) (*big.Int, error) {
+	if new(big.Int).Abs(v).Cmp(pk.MaxSigned()) >= 0 {
+		return nil, ErrMessageTooLarge
+	}
+	if v.Sign() >= 0 {
+		return new(big.Int).Set(v), nil
+	}
+	return new(big.Int).Add(pk.N, v), nil
+}
+
+// DecodeSigned inverts EncodeSigned: residues above n/2 are interpreted as
+// negative.
+func (pk *PublicKey) DecodeSigned(m *big.Int) *big.Int {
+	if m.Cmp(pk.MaxSigned()) > 0 {
+		return new(big.Int).Sub(m, pk.N)
+	}
+	return new(big.Int).Set(m)
+}
+
+// randomUnit draws r uniformly from Z*_n.
+func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
+	for {
+		r, err := rand.Int(random, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("draw nonce: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Encrypt encrypts the signed integer m. With g = n+1 the ciphertext is
+// (1 + m·n) · r^n mod n².
+func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	r, err := pk.randomUnit(random)
+	if err != nil {
+		return nil, err
+	}
+	return pk.encryptWithUnit(m, r)
+}
+
+// EncryptWithFactor encrypts m using a pre-computed blinding factor
+// rn = r^n mod n² (see NoncePool). This is the paper's "encryption executed
+// in parallel during idle time" optimization: the expensive exponentiation
+// happens ahead of time, leaving only two multiplications per encryption.
+func (pk *PublicKey) EncryptWithFactor(m, rn *big.Int) (*Ciphertext, error) {
+	em, err := pk.EncodeSigned(m)
+	if err != nil {
+		return nil, err
+	}
+	// (1 + em*n) * rn mod n².
+	c := new(big.Int).Mul(em, pk.N)
+	c.Add(c, one)
+	c.Mod(c, pk.N2)
+	c.Mul(c, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+func (pk *PublicKey) encryptWithUnit(m, r *big.Int) (*Ciphertext, error) {
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	return pk.EncryptWithFactor(m, rn)
+}
+
+// BlindingFactor computes r^n mod n² for a fresh random r. The result can
+// be handed to EncryptWithFactor later.
+func (pk *PublicKey) BlindingFactor(random io.Reader) (*big.Int, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	r, err := pk.randomUnit(random)
+	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).Exp(r, pk.N, pk.N2), nil
+}
+
+// validate checks c ∈ [1, n²) with gcd(c, n) = 1.
+func (pk *PublicKey) validate(c *Ciphertext) error {
+	if c == nil || c.C == nil {
+		return ErrInvalidCiphertext
+	}
+	if c.C.Sign() <= 0 || c.C.Cmp(pk.N2) >= 0 {
+		return ErrInvalidCiphertext
+	}
+	return nil
+}
+
+// Add returns a ciphertext encrypting the sum of the two plaintexts
+// (E(a)·E(b) mod n²).
+func (pk *PublicKey) Add(a, b *Ciphertext) (*Ciphertext, error) {
+	if err := pk.validate(a); err != nil {
+		return nil, err
+	}
+	if err := pk.validate(b); err != nil {
+		return nil, err
+	}
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// AddPlain returns a ciphertext encrypting plaintext(c) + m without fresh
+// randomness (E(a)·(1+m·n) mod n²).
+func (pk *PublicKey) AddPlain(c *Ciphertext, m *big.Int) (*Ciphertext, error) {
+	if err := pk.validate(c); err != nil {
+		return nil, err
+	}
+	em, err := pk.EncodeSigned(m)
+	if err != nil {
+		return nil, err
+	}
+	g := new(big.Int).Mul(em, pk.N)
+	g.Add(g, one)
+	g.Mod(g, pk.N2)
+	out := new(big.Int).Mul(c.C, g)
+	out.Mod(out, pk.N2)
+	return &Ciphertext{C: out}, nil
+}
+
+// ScalarMul returns a ciphertext encrypting k·plaintext(c) (E(a)^k mod n²).
+// Negative scalars are supported through the signed embedding.
+func (pk *PublicKey) ScalarMul(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if err := pk.validate(c); err != nil {
+		return nil, err
+	}
+	exp := new(big.Int).Set(k)
+	base := new(big.Int).Set(c.C)
+	if exp.Sign() < 0 {
+		base.ModInverse(base, pk.N2)
+		if base == nil {
+			return nil, ErrInvalidCiphertext
+		}
+		exp.Neg(exp)
+	}
+	out := new(big.Int).Exp(base, exp, pk.N2)
+	return &Ciphertext{C: out}, nil
+}
+
+// Rerandomize multiplies c by a fresh encryption of zero, hiding any link
+// to the ciphertext it was derived from.
+func (pk *PublicKey) Rerandomize(random io.Reader, c *Ciphertext) (*Ciphertext, error) {
+	zero, err := pk.Encrypt(random, big.NewInt(0))
+	if err != nil {
+		return nil, err
+	}
+	return pk.Add(c, zero)
+}
+
+// Decrypt recovers the signed plaintext using the CRT-accelerated path.
+func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	if err := sk.validate(c); err != nil {
+		return nil, err
+	}
+	// m_p = L_p(c^{p-1} mod p²)·h_p mod p, likewise mod q, then CRT.
+	cp := new(big.Int).Exp(c.C, sk.pMinusOne, sk.p2)
+	mp := lFunc(cp, sk.p)
+	mp.Mul(mp, sk.hp)
+	mp.Mod(mp, sk.p)
+
+	cq := new(big.Int).Exp(c.C, sk.qMinusOne, sk.q2)
+	mq := lFunc(cq, sk.q)
+	mq.Mul(mq, sk.hq)
+	mq.Mod(mq, sk.q)
+
+	// CRT: m = mp + p·((mq - mp)·pInvQ mod q).
+	diff := new(big.Int).Sub(mq, mp)
+	diff.Mod(diff, sk.q)
+	diff.Mul(diff, sk.pInvQ)
+	diff.Mod(diff, sk.q)
+	m := new(big.Int).Mul(diff, sk.p)
+	m.Add(m, mp)
+
+	return sk.DecodeSigned(m), nil
+}
+
+// DecryptTextbook recovers the plaintext via the original L-function method;
+// it exists to cross-check the CRT path and for the ablation benchmark.
+func (sk *PrivateKey) DecryptTextbook(c *Ciphertext) (*big.Int, error) {
+	if err := sk.validate(c); err != nil {
+		return nil, err
+	}
+	x := new(big.Int).Exp(c.C, sk.lambda, sk.N2)
+	m := lFunc(x, sk.N)
+	m.Mul(m, sk.mu)
+	m.Mod(m, sk.N)
+	return sk.DecodeSigned(m), nil
+}
+
+// EncryptInt64 is a convenience wrapper for fixed-point protocol values.
+func (pk *PublicKey) EncryptInt64(random io.Reader, v int64) (*Ciphertext, error) {
+	return pk.Encrypt(random, big.NewInt(v))
+}
+
+// DecryptInt64 decrypts and narrows to int64, failing loudly on overflow.
+func (sk *PrivateKey) DecryptInt64(c *Ciphertext) (int64, error) {
+	m, err := sk.Decrypt(c)
+	if err != nil {
+		return 0, err
+	}
+	if !m.IsInt64() {
+		return 0, fmt.Errorf("paillier: plaintext %s overflows int64", m)
+	}
+	return m.Int64(), nil
+}

@@ -1,0 +1,171 @@
+package paillier
+
+import (
+	"context"
+	"crypto/rand"
+	"io"
+	"math/big"
+	"sync"
+)
+
+// NoncePool pre-computes Paillier blinding factors r^n mod n² in background
+// workers so that encryptions on the protocol's critical path reduce to two
+// modular multiplications. This implements the paper's observation
+// (Section VII-B) that "encryption and decryption are independently executed
+// in parallel during idle time", which is why runtime in Fig. 5(b) is
+// insensitive to the key size.
+//
+// The pool degrades gracefully: if drained, Take computes a factor inline.
+type NoncePool struct {
+	pk *PublicKey
+
+	randMu sync.Mutex
+	random io.Reader
+
+	mu      sync.Mutex
+	factors []*big.Int // LIFO of precomputed factors
+
+	refill chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+	target int
+}
+
+// PoolConfig configures a NoncePool.
+type PoolConfig struct {
+	// Target is the number of factors the pool tries to keep ready.
+	Target int
+	// Workers is the number of background goroutines. Defaults to 1.
+	Workers int
+	// Random overrides the randomness source (defaults to crypto/rand).
+	Random io.Reader
+}
+
+// NewNoncePool starts a pool for pk. Call Close to stop the workers.
+func NewNoncePool(pk *PublicKey, cfg PoolConfig) *NoncePool {
+	if cfg.Target <= 0 {
+		cfg.Target = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	random := cfg.Random
+	if random == nil {
+		random = rand.Reader
+	}
+	p := &NoncePool{
+		pk:     pk,
+		random: random,
+		refill: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		target: cfg.Target,
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.worker()
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(p.done)
+	}()
+	p.kick()
+	return p
+}
+
+func (p *NoncePool) kick() {
+	select {
+	case p.refill <- struct{}{}:
+	default:
+	}
+}
+
+func (p *NoncePool) worker() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.refill:
+		}
+		for {
+			p.mu.Lock()
+			need := len(p.factors) < p.target
+			p.mu.Unlock()
+			if !need {
+				break
+			}
+			select {
+			case <-p.stop:
+				return
+			default:
+			}
+			f, err := p.pk.BlindingFactor(p.lockedRandom())
+			if err != nil {
+				// Randomness failure is unrecoverable for this worker;
+				// Take falls back to inline computation.
+				return
+			}
+			p.mu.Lock()
+			p.factors = append(p.factors, f)
+			p.mu.Unlock()
+		}
+	}
+}
+
+// lockedRandom serializes access to the randomness source across workers.
+func (p *NoncePool) lockedRandom() io.Reader {
+	return &lockedReader{mu: &p.randMu, r: p.random}
+}
+
+type lockedReader struct {
+	mu *sync.Mutex
+	r  io.Reader
+}
+
+var _ io.Reader = (*lockedReader)(nil)
+
+func (l *lockedReader) Read(b []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Read(b)
+}
+
+// Take returns a precomputed blinding factor, or computes one inline if the
+// pool is empty (respecting ctx for cancellation of the inline path).
+func (p *NoncePool) Take(ctx context.Context) (*big.Int, error) {
+	p.mu.Lock()
+	if n := len(p.factors); n > 0 {
+		f := p.factors[n-1]
+		p.factors = p.factors[:n-1]
+		p.mu.Unlock()
+		p.kick()
+		return f, nil
+	}
+	p.mu.Unlock()
+	p.kick()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return p.pk.BlindingFactor(p.lockedRandom())
+}
+
+// Len reports the number of ready factors (for tests and metrics).
+func (p *NoncePool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.factors)
+}
+
+// Close stops the background workers and waits for them to exit.
+func (p *NoncePool) Close() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}

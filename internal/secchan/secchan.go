@@ -1,0 +1,208 @@
+// Package secchan implements the secure pairwise channels the paper assumes
+// ("all the messages in the framework are assumed to be transmitted in a
+// secure channel", Section II-B).
+//
+// Each agent holds a static X25519 key pair whose public half is published
+// in the market roster, exactly like the Paillier public keys in
+// Protocol 1. A channel key for an (i, j) pair is derived with
+// HKDF-SHA256 from the static-static Diffie–Hellman shared secret, salted
+// with the sorted party identifiers so both ends derive the same key. Every
+// payload is then sealed with AES-256-GCM under a random nonce, with the
+// (from, to, tag) triple bound as additional authenticated data so messages
+// cannot be replayed across conversations.
+package secchan
+
+import (
+	"context"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/pem-go/pem/internal/transport"
+)
+
+// Errors surfaced by the package.
+var (
+	ErrUnknownPeerKey = errors.New("secchan: no public key registered for peer")
+	ErrDecrypt        = errors.New("secchan: message authentication failed")
+)
+
+// Identity is an agent's static X25519 key pair.
+type Identity struct {
+	priv *ecdh.PrivateKey
+}
+
+// NewIdentity generates a static key pair from the given randomness source
+// (crypto/rand if nil).
+func NewIdentity(random io.Reader) (*Identity, error) {
+	if random == nil {
+		random = rand.Reader
+	}
+	priv, err := ecdh.X25519().GenerateKey(random)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: generate identity: %w", err)
+	}
+	return &Identity{priv: priv}, nil
+}
+
+// PublicKey returns the shareable public half (32 bytes).
+func (id *Identity) PublicKey() []byte {
+	return id.priv.PublicKey().Bytes()
+}
+
+// Directory maps party IDs to their static public keys.
+type Directory struct {
+	mu   sync.RWMutex
+	keys map[string][]byte
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{keys: make(map[string][]byte)}
+}
+
+// Register stores a party's public key (copying the slice).
+func (d *Directory) Register(party string, pub []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.keys[party] = append([]byte(nil), pub...)
+}
+
+// Lookup returns a party's public key.
+func (d *Directory) Lookup(party string) ([]byte, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	k, ok := d.keys[party]
+	return k, ok
+}
+
+// Conn wraps a transport.Conn, sealing every payload end-to-end.
+type Conn struct {
+	inner transport.Conn
+	id    *Identity
+	dir   *Directory
+
+	mu    sync.Mutex
+	aeads map[string]cipher.AEAD // peer -> sealed channel
+}
+
+var _ transport.Conn = (*Conn)(nil)
+
+// New wraps inner with encryption under the local identity and the peer
+// directory.
+func New(inner transport.Conn, id *Identity, dir *Directory) *Conn {
+	return &Conn{
+		inner: inner,
+		id:    id,
+		dir:   dir,
+		aeads: make(map[string]cipher.AEAD),
+	}
+}
+
+// Party implements transport.Conn.
+func (c *Conn) Party() string { return c.inner.Party() }
+
+// aead returns (building if needed) the AEAD for a peer.
+func (c *Conn) aead(peer string) (cipher.AEAD, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.aeads[peer]; ok {
+		return a, nil
+	}
+	pubBytes, ok := c.dir.Lookup(peer)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeerKey, peer)
+	}
+	pub, err := ecdh.X25519().NewPublicKey(pubBytes)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: bad public key for %q: %w", peer, err)
+	}
+	shared, err := c.id.priv.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: ECDH with %q: %w", peer, err)
+	}
+	key := deriveKey(shared, c.Party(), peer)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: cipher: %w", err)
+	}
+	a, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("secchan: gcm: %w", err)
+	}
+	c.aeads[peer] = a
+	return a, nil
+}
+
+// deriveKey runs HKDF-SHA256 (extract+expand, one block) over the shared
+// secret, salted with the sorted pair of party IDs so both directions agree.
+func deriveKey(shared []byte, a, b string) []byte {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	salt := sha256.Sum256([]byte("pem/secchan/v1|" + lo + "|" + hi))
+
+	// HKDF-Extract(salt, ikm).
+	ext := hmac.New(sha256.New, salt[:])
+	ext.Write(shared)
+	prk := ext.Sum(nil)
+
+	// HKDF-Expand(prk, info, 32) — single block suffices for 32 bytes.
+	exp := hmac.New(sha256.New, prk)
+	exp.Write([]byte("pem/secchan/aes256gcm"))
+	exp.Write([]byte{1})
+	return exp.Sum(nil)[:32]
+}
+
+// Send seals payload and forwards it.
+func (c *Conn) Send(ctx context.Context, to, tag string, payload []byte) error {
+	a, err := c.aead(to)
+	if err != nil {
+		return err
+	}
+	nonce := make([]byte, a.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return fmt.Errorf("secchan: nonce: %w", err)
+	}
+	aad := aadFor(c.Party(), to, tag)
+	sealed := a.Seal(nonce, nonce, payload, aad)
+	return c.inner.Send(ctx, to, tag, sealed)
+}
+
+// Recv receives and opens a sealed payload.
+func (c *Conn) Recv(ctx context.Context, from, tag string) ([]byte, error) {
+	sealed, err := c.inner.Recv(ctx, from, tag)
+	if err != nil {
+		return nil, err
+	}
+	a, err := c.aead(from)
+	if err != nil {
+		return nil, err
+	}
+	ns := a.NonceSize()
+	if len(sealed) < ns {
+		return nil, ErrDecrypt
+	}
+	aad := aadFor(from, c.Party(), tag)
+	plain, err := a.Open(nil, sealed[:ns], sealed[ns:], aad)
+	if err != nil {
+		return nil, fmt.Errorf("%w (from %q tag %q)", ErrDecrypt, from, tag)
+	}
+	return plain, nil
+}
+
+// aadFor binds direction and tag into the AEAD.
+func aadFor(from, to, tag string) []byte {
+	return []byte(from + "\x00" + to + "\x00" + tag)
+}
+
+// Close implements transport.Conn.
+func (c *Conn) Close() error { return c.inner.Close() }

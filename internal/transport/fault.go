@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"context"
+	"sync"
+)
+
+// FaultConn wraps a Conn with programmable failure injection for tests:
+// dropping messages, corrupting payloads, or failing sends outright. The
+// PEM protocols must detect such faults and abort the trading window rather
+// than produce incorrect trades.
+type FaultConn struct {
+	inner Conn
+
+	mu      sync.Mutex
+	dropTag map[string]int // tag -> remaining drops
+	corrupt map[string]int // tag -> remaining corruptions
+	failAll bool
+}
+
+var _ Conn = (*FaultConn)(nil)
+
+// NewFaultConn wraps inner.
+func NewFaultConn(inner Conn) *FaultConn {
+	return &FaultConn{
+		inner:   inner,
+		dropTag: make(map[string]int),
+		corrupt: make(map[string]int),
+	}
+}
+
+// DropNext silently discards the next n sends with the given tag.
+func (f *FaultConn) DropNext(tag string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropTag[tag] += n
+}
+
+// CorruptNext flips bits in the next n sends with the given tag.
+func (f *FaultConn) CorruptNext(tag string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.corrupt[tag] += n
+}
+
+// FailAll makes every subsequent Send return ErrClosed.
+func (f *FaultConn) FailAll() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAll = true
+}
+
+// Party implements Conn.
+func (f *FaultConn) Party() string { return f.inner.Party() }
+
+// Send implements Conn with fault injection.
+func (f *FaultConn) Send(ctx context.Context, to, tag string, payload []byte) error {
+	f.mu.Lock()
+	if f.failAll {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if f.dropTag[tag] > 0 {
+		f.dropTag[tag]--
+		f.mu.Unlock()
+		return nil // silently dropped
+	}
+	if f.corrupt[tag] > 0 {
+		f.corrupt[tag]--
+		f.mu.Unlock()
+		bad := append([]byte(nil), payload...)
+		if len(bad) > 0 {
+			bad[len(bad)/2] ^= 0xff
+		} else {
+			bad = []byte{0xff}
+		}
+		return f.inner.Send(ctx, to, tag, bad)
+	}
+	f.mu.Unlock()
+	return f.inner.Send(ctx, to, tag, payload)
+}
+
+// Recv implements Conn.
+func (f *FaultConn) Recv(ctx context.Context, from, tag string) ([]byte, error) {
+	return f.inner.Recv(ctx, from, tag)
+}
+
+// Close implements Conn.
+func (f *FaultConn) Close() error { return f.inner.Close() }

@@ -1,0 +1,73 @@
+package transport
+
+import "sync"
+
+// Metrics accumulates per-party traffic counters. It feeds the Table I
+// bandwidth experiment ("average bandwidth over m trading windows of all
+// the smart homes").
+type Metrics struct {
+	mu     sync.Mutex
+	bytes  map[string]int64
+	msgs   map[string]int64
+	totalB int64
+	totalM int64
+}
+
+// NewMetrics creates an empty sink.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		bytes: make(map[string]int64),
+		msgs:  make(map[string]int64),
+	}
+}
+
+func (m *Metrics) recordSend(party string, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bytes[party] += int64(n)
+	m.msgs[party]++
+	m.totalB += int64(n)
+	m.totalM++
+}
+
+// TotalBytes returns the total bytes sent across all parties.
+func (m *Metrics) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalB
+}
+
+// TotalMessages returns the total number of messages sent.
+func (m *Metrics) TotalMessages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalM
+}
+
+// PartyBytes returns the bytes sent by one party.
+func (m *Metrics) PartyBytes(party string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes[party]
+}
+
+// Snapshot returns a copy of the per-party byte counters.
+func (m *Metrics) Snapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.bytes))
+	for k, v := range m.bytes {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bytes = make(map[string]int64)
+	m.msgs = make(map[string]int64)
+	m.totalB = 0
+	m.totalM = 0
+}

@@ -1,0 +1,142 @@
+// Package transport provides tag-addressed, party-to-party message passing
+// for the PEM protocols. Two implementations are provided: an in-memory bus
+// (goroutine-per-agent deployments, the default used by the benchmark
+// harness, mirroring the paper's one-Docker-container-per-agent setup) and a
+// TCP transport (real multi-process deployments; see cmd/pem-agent).
+//
+// A Conn belongs to exactly one party. Protocol code sends a payload to a
+// peer under a tag (e.g. "pme/ring/4" for round 4 of Private Market
+// Evaluation) and receives by (from, tag) pair. Out-of-order arrivals are
+// buffered per (from, tag) queue, which lets independent sub-protocols share
+// one connection without interfering.
+//
+// All byte counts that flow through a Conn are recorded in a Metrics sink,
+// which the Table I bandwidth experiment reads.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Message is a single protocol datagram.
+type Message struct {
+	From    string
+	To      string
+	Tag     string
+	Payload []byte
+}
+
+// wireSize is the accounted size of a message: payload plus addressing
+// overhead (the TCP framing encodes exactly these fields).
+func (m *Message) wireSize() int {
+	return len(m.Payload) + len(m.From) + len(m.To) + len(m.Tag) + frameHeaderSize
+}
+
+// Conn is one party's endpoint.
+//
+// Send may be called from any goroutine. Recv must not be called
+// concurrently for the same (from, tag) pair; the protocol code in this
+// repository always runs a party's control flow on a single goroutine.
+type Conn interface {
+	// Party returns the ID of the local party.
+	Party() string
+	// Send delivers payload to the peer under tag.
+	Send(ctx context.Context, to, tag string, payload []byte) error
+	// Recv blocks until a message from the given peer with the given tag
+	// arrives (or ctx is done) and returns its payload.
+	Recv(ctx context.Context, from, tag string) ([]byte, error)
+	// Close releases the endpoint. Pending and future Recv calls fail.
+	Close() error
+}
+
+// Errors shared by transports.
+var (
+	ErrClosed       = errors.New("transport: connection closed")
+	ErrUnknownParty = errors.New("transport: unknown destination party")
+)
+
+// inboxKey identifies a buffered queue.
+type inboxKey struct {
+	from string
+	tag  string
+}
+
+// mailbox demultiplexes an incoming message stream into per-(from, tag)
+// queues with blocking receive. It is the shared core of both transports.
+type mailbox struct {
+	mu     sync.Mutex
+	queues map[inboxKey][][]byte
+	wait   map[inboxKey]chan struct{} // signalled on push
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{
+		queues: make(map[inboxKey][][]byte),
+		wait:   make(map[inboxKey]chan struct{}),
+	}
+}
+
+func (mb *mailbox) push(m Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	k := inboxKey{from: m.From, tag: m.Tag}
+	mb.queues[k] = append(mb.queues[k], m.Payload)
+	if ch, ok := mb.wait[k]; ok {
+		close(ch)
+		delete(mb.wait, k)
+	}
+	return nil
+}
+
+func (mb *mailbox) pop(ctx context.Context, from, tag string) ([]byte, error) {
+	k := inboxKey{from: from, tag: tag}
+	for {
+		mb.mu.Lock()
+		if q := mb.queues[k]; len(q) > 0 {
+			payload := q[0]
+			if len(q) == 1 {
+				delete(mb.queues, k)
+			} else {
+				mb.queues[k] = q[1:]
+			}
+			mb.mu.Unlock()
+			return payload, nil
+		}
+		if mb.closed {
+			mb.mu.Unlock()
+			return nil, ErrClosed
+		}
+		ch, ok := mb.wait[k]
+		if !ok {
+			ch = make(chan struct{})
+			mb.wait[k] = ch
+		}
+		mb.mu.Unlock()
+
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: recv from %q tag %q: %w", from, tag, ctx.Err())
+		}
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return
+	}
+	mb.closed = true
+	for k, ch := range mb.wait {
+		close(ch)
+		delete(mb.wait, k)
+	}
+}

@@ -1,0 +1,197 @@
+// Package pem is the public API of the Private Energy Market — a Go
+// implementation of "Privacy Preserving Distributed Energy Trading"
+// (Xie, Wang, Hong, Thai; ICDCS 2020).
+//
+// PEM lets a fleet of agents (smart homes, microgrids) trade surplus
+// energy with each other instead of only with the main grid, while keeping
+// each agent's generation, load, battery schedule and utility preference
+// private. Price discovery is a buyer-led Stackelberg game with a closed-
+// form equilibrium; all computations run under Paillier homomorphic
+// encryption and garbled-circuit secure comparison, with no trusted third
+// party.
+//
+// # Quick start
+//
+//	agents := []pem.Agent{
+//		{ID: "solar-roof", K: 85, Epsilon: 0.9},
+//		{ID: "townhouse", K: 75, Epsilon: 0.85},
+//		{ID: "ev-garage", K: 95, Epsilon: 0.9},
+//	}
+//	m, err := pem.NewMarket(pem.Config{KeyBits: 1024}, agents)
+//	if err != nil { ... }
+//	defer m.Close()
+//
+//	res, err := m.RunWindow(ctx, 0, []pem.WindowInput{
+//		{Generation: 0.40, Load: 0.10}, // surplus: sells
+//		{Generation: 0.00, Load: 0.25}, // deficit: buys
+//		{Generation: 0.05, Load: 0.30}, // deficit: buys
+//	})
+//
+// res.Price is the private Stackelberg price, res.Trades the pairwise
+// allocations. See examples/ for full programs and DESIGN.md for the
+// architecture.
+package pem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/pem-go/pem/internal/core"
+	"github.com/pem-go/pem/internal/dataset"
+	"github.com/pem-go/pem/internal/ledger"
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/transport"
+)
+
+// Re-exported model types. These aliases are the supported public names;
+// the internal packages are not importable by downstream modules.
+type (
+	// Agent is one market participant (smart home / microgrid).
+	Agent = market.Agent
+	// WindowInput is an agent's private data for one trading window.
+	WindowInput = market.WindowInput
+	// Params are the public market prices and bounds.
+	Params = market.Params
+	// Trade is one pairwise transaction.
+	Trade = market.Trade
+	// Clearing is a plaintext market outcome (reference implementation).
+	Clearing = market.Clearing
+	// Kind distinguishes general and extreme markets.
+	Kind = market.Kind
+	// Role classifies an agent within a window.
+	Role = market.Role
+	// WindowResult is the public outcome of a private trading window.
+	WindowResult = core.WindowResult
+	// Ledger is the hash-chained trade log.
+	Ledger = ledger.Ledger
+	// TradeRecord is a ledger entry.
+	TradeRecord = ledger.TradeRecord
+	// Trace is a day of per-home generation/load/battery data.
+	Trace = dataset.Trace
+	// TraceConfig controls synthetic trace generation.
+	TraceConfig = dataset.Config
+)
+
+// Re-exported enum values.
+const (
+	GeneralMarket = market.GeneralMarket
+	ExtremeMarket = market.ExtremeMarket
+	RoleSeller    = market.RoleSeller
+	RoleBuyer     = market.RoleBuyer
+	RoleOff       = market.RoleOff
+)
+
+// DefaultParams returns the paper's evaluation prices: grid feed-in 80,
+// retail 120, PEM band [90, 110] cents/kWh.
+func DefaultParams() Params { return market.DefaultParams() }
+
+// Config configures a private market.
+type Config struct {
+	// KeyBits is the Paillier modulus size: 512, 1024 or 2048 in the
+	// paper's sweep (default 1024).
+	KeyBits int
+	// Params are the market prices (DefaultParams if zero).
+	Params Params
+	// PreEncrypt precomputes Paillier blinding factors in idle time
+	// (default true, matching the paper's deployment).
+	PreEncrypt *bool
+	// UseOTExtension moves comparator label transfer to IKNP OT extension.
+	UseOTExtension bool
+	// GRR3 enables garbled row reduction in the secure comparator,
+	// shrinking its tables by 25% on the wire.
+	GRR3 bool
+	// Seed makes the run deterministic (tests/benchmarks only).
+	Seed *int64
+	// RecordLedger appends every window's trades to a hash-chained ledger
+	// (the paper's blockchain-deployment discussion). Default true.
+	RecordLedger *bool
+}
+
+// Market is a running private energy market.
+type Market struct {
+	cfg    Config
+	engine *core.Engine
+	agents []Agent
+	ledger *Ledger
+}
+
+// NewMarket provisions keys and transport for the agents and returns a
+// ready market. Call Close when done.
+func NewMarket(cfg Config, agents []Agent) (*Market, error) {
+	if len(agents) == 0 {
+		return nil, errors.New("pem: no agents")
+	}
+	coreCfg := core.Config{
+		KeyBits:        cfg.KeyBits,
+		Params:         cfg.Params,
+		UseOTExtension: cfg.UseOTExtension,
+		GRR3:           cfg.GRR3,
+		PreEncrypt:     cfg.PreEncrypt == nil || *cfg.PreEncrypt,
+		Seed:           cfg.Seed,
+	}
+	eng, err := core.NewEngine(coreCfg, agents)
+	if err != nil {
+		return nil, fmt.Errorf("pem: %w", err)
+	}
+	m := &Market{cfg: cfg, engine: eng, agents: append([]Agent(nil), agents...)}
+	if cfg.RecordLedger == nil || *cfg.RecordLedger {
+		m.ledger = ledger.New()
+	}
+	return m, nil
+}
+
+// Agents returns the roster.
+func (m *Market) Agents() []Agent {
+	return append([]Agent(nil), m.agents...)
+}
+
+// Ledger returns the trade ledger (nil if disabled).
+func (m *Market) Ledger() *Ledger { return m.ledger }
+
+// Metrics exposes transport byte accounting (Table I).
+func (m *Market) Metrics() *transport.Metrics { return m.engine.Metrics() }
+
+// Close releases background resources.
+func (m *Market) Close() { m.engine.Close() }
+
+// RunWindow executes one private trading window (Protocol 1).
+func (m *Market) RunWindow(ctx context.Context, window int, inputs []WindowInput) (*WindowResult, error) {
+	res, err := m.engine.RunWindow(ctx, window, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if m.ledger != nil {
+		records := make([]TradeRecord, len(res.Trades))
+		for i, tr := range res.Trades {
+			records[i] = TradeRecord{
+				Seller:       tr.Seller,
+				Buyer:        tr.Buyer,
+				EnergyKWh:    tr.Energy,
+				PaymentCents: tr.Payment,
+			}
+		}
+		if _, err := m.ledger.Append(window, res.Price, records); err != nil {
+			return nil, fmt.Errorf("pem: ledger append: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// Clear computes the plaintext reference outcome for one window — what the
+// market would decide with full information. The private protocols must
+// (and the tests assert they do) reproduce it to fixed-point precision.
+func Clear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, error) {
+	return market.Clear(agents, inputs, params)
+}
+
+// BaselineClear computes the paper's "without PEM" benchmark: all agents
+// trade only with the main grid.
+func BaselineClear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, error) {
+	return market.BaselineClear(agents, inputs, params)
+}
+
+// GenerateTrace synthesizes a day of smart-home data (see TraceConfig).
+func GenerateTrace(cfg TraceConfig) (*Trace, error) {
+	return dataset.Generate(cfg)
+}
