@@ -8,12 +8,17 @@
 //	pem-bench -fig 5b           # total runtime vs #windows, key sweep
 //	pem-bench -fig 5c           # runtime vs #agents, key sweep
 //	pem-bench -fig 6a|6b|6c|6d  # trading-performance figures
+//	pem-bench -fig pipe         # sequential vs pipelined day comparison
 //	pem-bench -table 1          # average bandwidth by key size
 //	pem-bench -all              # everything
 //
-// By default the cryptographic experiments (5a/5b/5c/table 1) run at a
-// reduced scale that finishes on a laptop; pass -full for the paper's
+// By default the cryptographic experiments (5a/5b/5c/pipe/table 1) run at
+// a reduced scale that finishes on a laptop; pass -full for the paper's
 // scale (hundreds of agents, 720 windows — hours of compute).
+//
+// -inflight N pipelines the crypto experiments with up to N trading
+// windows in flight (default 1, the paper's sequential deployment);
+// outcomes are identical at any depth, only wall-clock changes.
 package main
 
 import (
@@ -35,21 +40,22 @@ func main() {
 }
 
 type options struct {
-	fig     string
-	table   int
-	all     bool
-	full    bool
-	homes   int
-	windows int
-	keyBits int
-	seed    int64
-	sample  int
+	fig      string
+	table    int
+	all      bool
+	full     bool
+	homes    int
+	windows  int
+	keyBits  int
+	seed     int64
+	sample   int
+	inflight int
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("pem-bench", flag.ContinueOnError)
 	var opt options
-	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d")
+	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d, pipe")
 	fs.IntVar(&opt.table, "table", 0, "table to regenerate: 1")
 	fs.BoolVar(&opt.all, "all", false, "regenerate every figure and table")
 	fs.BoolVar(&opt.full, "full", false, "paper scale (slow) instead of laptop scale")
@@ -58,6 +64,7 @@ func run(args []string) error {
 	fs.IntVar(&opt.keyBits, "keybits", 0, "override the Paillier key size")
 	fs.Int64Var(&opt.seed, "seed", 20200425, "trace and protocol seed")
 	fs.IntVar(&opt.sample, "sample", 60, "print every N-th window in series output")
+	fs.IntVar(&opt.inflight, "inflight", 1, "trading windows to keep in flight concurrently")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,20 +74,21 @@ func run(args []string) error {
 	}
 
 	runners := map[string]func(options) error{
-		"4":  fig4,
-		"5a": fig5a,
-		"5b": fig5b,
-		"5c": fig5c,
-		"6a": fig6a,
-		"6b": fig6b,
-		"6c": fig6c,
-		"6d": fig6d,
-		"t1": table1,
+		"4":    fig4,
+		"5a":   fig5a,
+		"5b":   fig5b,
+		"5c":   fig5c,
+		"6a":   fig6a,
+		"6b":   fig6b,
+		"6c":   fig6c,
+		"6d":   fig6d,
+		"pipe": pipeComparison,
+		"t1":   table1,
 	}
 	var targets []string
 	switch {
 	case opt.all:
-		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "t1"}
+		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "t1"}
 	case opt.table == 1:
 		targets = []string{"t1"}
 	case opt.table != 0:
@@ -145,7 +153,8 @@ func fig4(o options) error {
 // runPrivateWindows measures the crypto engine over m windows. The windows
 // are drawn from the middle of the trading day so both coalitions are
 // populated and every window exercises the full protocol stack (the first
-// windows of the day are seller-less and cost almost nothing).
+// windows of the day are seller-less and cost almost nothing). With
+// -inflight > 1 the windows run through the pipelined scheduler.
 func runPrivateWindows(o options, homes, windows, keyBits int) (avgPerWindow time.Duration, total time.Duration, bytesTotal int64, err error) {
 	// Always synthesize the full day, then run a midday slice of it.
 	tr, err := o.trace(homes, 720)
@@ -156,31 +165,70 @@ func runPrivateWindows(o options, homes, windows, keyBits int) (avgPerWindow tim
 	if first < 0 || windows > 720 {
 		first = 0
 	}
-	seed := o.seed
-	m, err := pem.NewMarket(pem.Config{KeyBits: keyBits, Seed: &seed}, tr.Agents())
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	defer m.Close()
-	ctx := context.Background()
-	start := time.Now()
-	startBytes := m.Metrics().TotalBytes()
+	inputs := make([][]pem.WindowInput, windows)
 	for w := 0; w < windows; w++ {
 		idx := first + w
 		if idx >= tr.Windows {
 			idx = tr.Windows - 1
 		}
-		inputs, err := tr.WindowInputs(idx)
-		if err != nil {
+		if inputs[w], err = tr.WindowInputs(idx); err != nil {
 			return 0, 0, 0, err
 		}
-		if _, err := m.RunWindow(ctx, w, inputs); err != nil {
-			return 0, 0, 0, fmt.Errorf("window %d: %w", w, err)
-		}
+	}
+	seed := o.seed
+	m, err := pem.NewMarket(pem.Config{
+		KeyBits:            keyBits,
+		Seed:               &seed,
+		MaxInflightWindows: o.inflight,
+	}, tr.Agents())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer m.Close()
+	start := time.Now()
+	startBytes := m.Metrics().TotalBytes()
+	if _, err := m.RunWindows(context.Background(), inputs); err != nil {
+		return 0, 0, 0, err
 	}
 	total = time.Since(start)
 	bytesTotal = m.Metrics().TotalBytes() - startBytes
 	return total / time.Duration(windows), total, bytesTotal, nil
+}
+
+// pipeComparison runs the same day slice sequentially and at increasing
+// pipeline depths, printing the wall-clock speedup of each depth over the
+// sequential baseline. Outcomes are bit-identical across depths; only the
+// scheduling changes.
+func pipeComparison(o options) error {
+	homes, windows := o.scale(100, 48, 8, 8)
+	keyBits := 512
+	if o.full {
+		keyBits = 2048
+	}
+	if o.keyBits > 0 {
+		keyBits = o.keyBits
+	}
+	depths := []int{1, 2, 4, 8}
+	if o.inflight > 1 && o.inflight != 2 && o.inflight != 4 && o.inflight != 8 {
+		depths = append(depths, o.inflight)
+	}
+	header(fmt.Sprintf("Pipelined scheduler — %d agents, %d windows, %d-bit keys", homes, windows, keyBits))
+	fmt.Printf("%10s %16s %16s %10s\n", "inflight", "total runtime", "avg/window", "speedup")
+	var baseline time.Duration
+	for _, depth := range depths {
+		op := o
+		op.inflight = depth
+		avg, total, _, err := runPrivateWindows(op, homes, windows, keyBits)
+		if err != nil {
+			return fmt.Errorf("inflight=%d: %w", depth, err)
+		}
+		if depth == 1 {
+			baseline = total
+		}
+		speedup := float64(baseline) / float64(total)
+		fmt.Printf("%10d %16s %16s %9.2fx\n", depth, total.Round(time.Millisecond), avg.Round(time.Millisecond), speedup)
+	}
+	return nil
 }
 
 // fig5a: average runtime per window for several agent counts.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/pem-go/pem/internal/core"
 	"github.com/pem-go/pem/internal/market"
 )
 
@@ -120,23 +121,37 @@ type DayResult struct {
 // RunDay executes every window of the trace through the cryptographic
 // engine. This is the paper's actual deployment path (Fig. 5 and Table I
 // measure it); for trading-performance figures prefer SimulateDay.
+//
+// The day is pipelined: up to Config.MaxInflightWindows windows run
+// concurrently (default 1, the paper's strictly sequential deployment).
+// Outcomes and ledger order are identical at any pipeline depth.
 func (m *Market) RunDay(ctx context.Context, trace *Trace) (*DayResult, error) {
+	return m.StreamDay(ctx, trace, nil)
+}
+
+// StreamDay is the streaming form of RunDay: sink (when non-nil) receives
+// every window's result in strict window order as soon as that window —
+// and every window before it — has completed, while later windows are
+// still executing. A sink error aborts the day.
+func (m *Market) StreamDay(ctx context.Context, trace *Trace, sink func(*WindowResult) error) (*DayResult, error) {
 	if len(trace.Homes) != len(m.agents) {
 		return nil, fmt.Errorf("pem: trace has %d homes, market has %d agents", len(trace.Homes), len(m.agents))
 	}
-	startBytes := m.Metrics().TotalBytes()
-	out := &DayResult{Results: make([]*WindowResult, 0, trace.Windows)}
+	jobs := make([]core.WindowJob, trace.Windows)
 	for w := 0; w < trace.Windows; w++ {
 		inputs, err := trace.WindowInputs(w)
 		if err != nil {
 			return nil, err
 		}
-		res, err := m.RunWindow(ctx, w, inputs)
-		if err != nil {
-			return nil, fmt.Errorf("pem: window %d: %w", w, err)
-		}
-		out.Results = append(out.Results, res)
+		jobs[w] = core.WindowJob{Window: w, Inputs: inputs}
 	}
-	out.TotalBytes = m.Metrics().TotalBytes() - startBytes
-	return out, nil
+	startBytes := m.Metrics().TotalBytes()
+	results, err := m.streamWindows(ctx, jobs, sink)
+	if err != nil {
+		return nil, fmt.Errorf("pem: %w", err)
+	}
+	return &DayResult{
+		Results:    results,
+		TotalBytes: m.Metrics().TotalBytes() - startBytes,
+	}, nil
 }

@@ -71,3 +71,43 @@ func ExampleGenerateTrace() {
 	// Output:
 	// 3 homes x 720 one-minute windows
 }
+
+// ExampleMarket_RunWindows pipelines several private trading windows.
+func ExampleMarket_RunWindows() {
+	agents := []pem.Agent{
+		{ID: "seller", K: 85, Epsilon: 0.9},
+		{ID: "buyer", K: 75, Epsilon: 0.85},
+	}
+	seed := int64(7) // deterministic for the example; omit in production
+	m, err := pem.NewMarket(pem.Config{
+		KeyBits:            256,
+		Seed:               &seed,
+		MaxInflightWindows: 4, // up to four windows in flight
+	}, agents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
+	// One input slice per window; windows are numbered by index. The
+	// outcomes are identical to running the windows one at a time.
+	day := [][]pem.WindowInput{
+		{{Generation: 0.40, Load: 0.10}, {Generation: 0.00, Load: 0.60}},
+		{{Generation: 0.35, Load: 0.10}, {Generation: 0.00, Load: 0.55}},
+		{{Generation: 0.30, Load: 0.10}, {Generation: 0.00, Load: 0.50}},
+		{{Generation: 0.25, Load: 0.10}, {Generation: 0.00, Load: 0.45}},
+	}
+	results, err := m.RunWindows(context.Background(), day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		fmt.Printf("window %d: %d trade(s) at %.2f cents/kWh\n",
+			res.Window, len(res.Trades), res.Price)
+	}
+	// Output:
+	// window 0: 1 trade(s) at 90.00 cents/kWh
+	// window 1: 1 trade(s) at 90.00 cents/kWh
+	// window 2: 1 trade(s) at 90.00 cents/kWh
+	// window 3: 1 trade(s) at 90.33 cents/kWh
+}

@@ -1,0 +1,3 @@
+module github.com/pem-go/pem
+
+go 1.24

@@ -69,6 +69,12 @@ type Config struct {
 	// factors (the paper's idle-time encryption; Fig 5b's key-size
 	// insensitivity depends on it).
 	PreEncrypt bool
+	// MaxInflightWindows is the number of trading windows the scheduler
+	// keeps in flight concurrently (default 1: strictly sequential, the
+	// paper's deployment). Windows are independent protocol instances with
+	// window-namespaced message tags, so raising this pipelines the day
+	// without any cross-window interference.
+	MaxInflightWindows int
 	// Seed, when non-nil, makes the whole engine deterministic: party
 	// randomness is derived from it. Production deployments leave it nil
 	// (crypto/rand).
@@ -91,6 +97,9 @@ func (c Config) withDefaults() Config {
 	if c.Params == (market.Params{}) {
 		c.Params = market.DefaultParams()
 	}
+	if c.MaxInflightWindows == 0 {
+		c.MaxInflightWindows = 1
+	}
 	return c
 }
 
@@ -102,37 +111,34 @@ func (c Config) Validate() error {
 	if c.CompareBits < c.NonceBits+10 || c.CompareBits > 128 {
 		return fmt.Errorf("core: comparator width %d incompatible with %d-bit nonces", c.CompareBits, c.NonceBits)
 	}
+	if c.MaxInflightWindows < 0 {
+		return fmt.Errorf("core: negative MaxInflightWindows %d", c.MaxInflightWindows)
+	}
 	return c.Params.Validate()
 }
-
-// Party is one agent's protocol endpoint.
-type Party struct {
-	agent market.Agent
-	cfg   Config
-
-	conn transport.Conn
-	key  *paillier.PrivateKey
-	dir  map[string]*paillier.PublicKey // all parties' Paillier keys
-
-	random io.Reader
-
-	poolMu sync.Mutex
-	pools  map[string]*paillier.NoncePool // peer -> blinding-factor pool
-}
-
-// ID returns the party identifier.
-func (p *Party) ID() string { return p.agent.ID }
 
 // Engine coordinates a fleet of parties through trading windows. It is the
 // experimenter's harness: it provisions keys, owns the transport, launches
 // the per-party protocol programs and aggregates the public outcome. It
 // never injects private data into the protocols themselves.
+//
+// The engine is the fleet-wide face of the session layer (see session.go):
+// it owns the per-party sessions and their lifecycle. Window execution goes
+// through the scheduler (scheduler.go), which runs up to
+// Config.MaxInflightWindows windows concurrently.
 type Engine struct {
 	cfg     Config
 	bus     *transport.Bus
 	parties []*Party
 	agents  []market.Agent
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // one unit per window being executed
 }
+
+// ErrEngineClosed is returned for windows scheduled after Close.
+var ErrEngineClosed = errors.New("core: engine closed")
 
 // NewEngine provisions keys and transport endpoints for the agents.
 func NewEngine(cfg Config, agents []market.Agent) (*Engine, error) {
@@ -190,15 +196,7 @@ func NewEngine(cfg Config, agents []market.Agent) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		e.parties[i] = &Party{
-			agent:  a,
-			cfg:    cfg,
-			conn:   conn,
-			key:    keys[i],
-			dir:    dir,
-			random: partyRandom(cfg, a.ID, "protocol"),
-			pools:  make(map[string]*paillier.NoncePool),
-		}
+		e.parties[i] = newParty(cfg, a, conn, keys[i], dir)
 	}
 	return e, nil
 }
@@ -219,18 +217,37 @@ func (e *Engine) Metrics() *transport.Metrics { return e.bus.Metrics() }
 // Parties returns the party handles (tests use this for fault injection).
 func (e *Engine) Parties() []*Party { return e.parties }
 
-// ReplaceConn swaps a party's transport (tests wrap it in a FaultConn).
-func (p *Party) ReplaceConn(c transport.Conn) { p.conn = c }
+// beginWindow registers one window execution with the session lifecycle.
+// It fails once Close has been called, so a closing engine stops admitting
+// new windows while the ones already in flight drain.
+func (e *Engine) beginWindow() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.inflight.Add(1)
+	return nil
+}
 
-// Close releases party resources (nonce pools).
+func (e *Engine) endWindow() { e.inflight.Done() }
+
+// Close shuts the session layer down: it stops admitting new windows,
+// drains the ones in flight (their parties keep their nonce pools until
+// they finish), and only then releases the pre-encryption pools. Close is
+// idempotent and safe to call concurrently with running windows.
 func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.inflight.Wait()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.inflight.Wait()
 	for _, p := range e.parties {
-		p.poolMu.Lock()
-		for _, pool := range p.pools {
-			pool.Close()
-		}
-		p.pools = make(map[string]*paillier.NoncePool)
-		p.poolMu.Unlock()
+		p.closePools()
 	}
 }
 
@@ -259,14 +276,15 @@ type WindowResult struct {
 	BytesOnWire int64
 }
 
-// RunWindow executes Protocol 1 for one window: it hands each party its
+// runOne executes Protocol 1 for one window: it hands each party its
 // private input and runs all parties concurrently until the window's
-// trades complete.
-func (e *Engine) RunWindow(ctx context.Context, window int, inputs []market.WindowInput) (*WindowResult, error) {
+// trades complete. The derived context cancels only this window's parties,
+// so a failure here never disturbs other windows in flight.
+func (e *Engine) runOne(ctx context.Context, window int, inputs []market.WindowInput) (*WindowResult, error) {
 	if len(inputs) != len(e.parties) {
 		return nil, fmt.Errorf("core: %d inputs for %d parties", len(inputs), len(e.parties))
 	}
-	startBytes := e.bus.Metrics().TotalBytes()
+	startBytes := e.bus.Metrics().WindowBytes(window)
 	start := time.Now()
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -298,7 +316,7 @@ func (e *Engine) RunWindow(ctx context.Context, window int, inputs []market.Wind
 	res := &WindowResult{
 		Window:      window,
 		Duration:    time.Since(start),
-		BytesOnWire: e.bus.Metrics().TotalBytes() - startBytes,
+		BytesOnWire: e.bus.Metrics().WindowBytes(window) - startBytes,
 	}
 	// All parties observed the same public outcome; adopt the first
 	// report and cross-check the rest.

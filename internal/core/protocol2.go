@@ -23,33 +23,33 @@ import (
 // without that decryptor's own nonce in the chain; here the decryptor adds
 // its own contribution locally after decrypting — identical totals, one
 // fewer hop.
-func (p *Party) privateMarketEvaluation(ctx context.Context, st *windowState) (market.Kind, error) {
-	ros := st.ros
+func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, error) {
+	ros := r.ros
 
 	// Round A contributions: buyers fold |sn_j| + r_j, sellers fold r_i.
 	// Ring order: buyers, then sellers without Hr1; sink is Hr1.
 	ringA := append(append([]string{}, ros.buyers...), without(ros.sellers, ros.hr1)...)
-	tagA := st.tag("pme/rb")
-	contribA := new(big.Int).SetUint64(st.nonce)
-	if st.role == market.RoleBuyer {
-		contribA.Add(contribA, new(big.Int).Abs(st.snFixed.Big()))
+	tagA := r.tag("pme/rb")
+	contribA := new(big.Int).SetUint64(r.nonce)
+	if r.role == market.RoleBuyer {
+		contribA.Add(contribA, new(big.Int).Abs(r.snFixed.Big()))
 	}
 
 	var rb uint64
 	switch {
-	case p.ID() == ros.hr1:
-		m, err := p.ringCollect(ctx, ringA, tagA)
+	case r.ID() == ros.hr1:
+		m, err := r.ringCollect(ctx, ringA, tagA)
 		if err != nil {
 			return 0, err
 		}
 		// Fold in Hr1's own nonce locally.
-		m.Add(m, new(big.Int).SetUint64(st.nonce))
+		m.Add(m, new(big.Int).SetUint64(r.nonce))
 		if m.Sign() < 0 || !m.IsUint64() {
 			return 0, fmt.Errorf("masked demand out of range: %s", m)
 		}
 		rb = m.Uint64()
-	case st.role != market.RoleOff:
-		if err := p.ringAggregate(ctx, ringA, ros.hr1, ros.hr1, tagA, contribA); err != nil {
+	case r.role != market.RoleOff:
+		if err := r.ringAggregate(ctx, ringA, ros.hr1, ros.hr1, tagA, contribA); err != nil {
 			return 0, err
 		}
 	}
@@ -57,26 +57,26 @@ func (p *Party) privateMarketEvaluation(ctx context.Context, st *windowState) (m
 	// Round B: sellers fold sn_i + r_i, buyers without Hr2 fold r_j; sink
 	// is Hr2.
 	ringB := append(append([]string{}, ros.sellers...), without(ros.buyers, ros.hr2)...)
-	tagB := st.tag("pme/rs")
-	contribB := new(big.Int).SetUint64(st.nonce)
-	if st.role == market.RoleSeller {
-		contribB.Add(contribB, st.snFixed.Big())
+	tagB := r.tag("pme/rs")
+	contribB := new(big.Int).SetUint64(r.nonce)
+	if r.role == market.RoleSeller {
+		contribB.Add(contribB, r.snFixed.Big())
 	}
 
 	var rs uint64
 	switch {
-	case p.ID() == ros.hr2:
-		m, err := p.ringCollect(ctx, ringB, tagB)
+	case r.ID() == ros.hr2:
+		m, err := r.ringCollect(ctx, ringB, tagB)
 		if err != nil {
 			return 0, err
 		}
-		m.Add(m, new(big.Int).SetUint64(st.nonce))
+		m.Add(m, new(big.Int).SetUint64(r.nonce))
 		if m.Sign() < 0 || !m.IsUint64() {
 			return 0, fmt.Errorf("masked supply out of range: %s", m)
 		}
 		rs = m.Uint64()
-	case st.role != market.RoleOff:
-		if err := p.ringAggregate(ctx, ringB, ros.hr2, ros.hr2, tagB, contribB); err != nil {
+	case r.role != market.RoleOff:
+		if err := r.ringAggregate(ctx, ringB, ros.hr2, ros.hr2, tagB, contribB); err != nil {
 			return 0, err
 		}
 	}
@@ -84,18 +84,18 @@ func (p *Party) privateMarketEvaluation(ctx context.Context, st *windowState) (m
 	// Secure comparison between Hr1 (garbler, input Rb) and Hr2
 	// (evaluator, input Rs): general market iff Rb > Rs ⇔ E_b > E_s.
 	opts := gc.ProtocolOptions{
-		Group:          p.cfg.OTGroup,
-		Random:         p.random,
-		UseOTExtension: p.cfg.UseOTExtension,
-		DisableFreeXOR: p.cfg.DisableFreeXOR,
-		GRR3:           p.cfg.GRR3,
+		Group:          r.cfg.OTGroup,
+		Random:         r.random,
+		UseOTExtension: r.cfg.UseOTExtension,
+		DisableFreeXOR: r.cfg.DisableFreeXOR,
+		GRR3:           r.cfg.GRR3,
 	}
-	session := st.tag("pme/cmp")
-	kindTag := st.tag("pme/kind")
+	session := r.tag("pme/cmp")
+	kindTag := r.tag("pme/kind")
 
-	switch p.ID() {
+	switch r.ID() {
 	case ros.hr1:
-		res, err := gc.SecureCompareGarbler(ctx, p.conn, ros.hr2, session, rb, p.cfg.CompareBits, opts)
+		res, err := gc.SecureCompareGarbler(ctx, r.conn, ros.hr2, session, rb, r.cfg.CompareBits, opts)
 		if err != nil {
 			return 0, fmt.Errorf("secure comparison: %w", err)
 		}
@@ -107,17 +107,17 @@ func (p *Party) privateMarketEvaluation(ctx context.Context, st *windowState) (m
 		// except Hr2 (who learned it in the comparison).
 		msg := []byte{byte(kind)}
 		for _, id := range ros.all {
-			if id == p.ID() || id == ros.hr2 {
+			if id == r.ID() || id == ros.hr2 {
 				continue
 			}
-			if err := p.conn.Send(ctx, id, kindTag, msg); err != nil {
+			if err := r.conn.Send(ctx, id, kindTag, msg); err != nil {
 				return 0, err
 			}
 		}
 		return kind, nil
 
 	case ros.hr2:
-		res, err := gc.SecureCompareEvaluator(ctx, p.conn, ros.hr1, session, rs, p.cfg.CompareBits, opts)
+		res, err := gc.SecureCompareEvaluator(ctx, r.conn, ros.hr1, session, rs, r.cfg.CompareBits, opts)
 		if err != nil {
 			return 0, fmt.Errorf("secure comparison: %w", err)
 		}
@@ -127,7 +127,7 @@ func (p *Party) privateMarketEvaluation(ctx context.Context, st *windowState) (m
 		return market.ExtremeMarket, nil
 
 	default:
-		raw, err := p.conn.Recv(ctx, ros.hr1, kindTag)
+		raw, err := r.conn.Recv(ctx, ros.hr1, kindTag)
 		if err != nil {
 			return 0, err
 		}

@@ -22,39 +22,39 @@ import (
 // The two ring passes of the paper (lines 2–5 and line 6) are fused into a
 // single pass carrying both running ciphertexts, halving latency without
 // changing what any party sees.
-func (p *Party) privatePricing(ctx context.Context, st *windowState) (price, pHat float64, err error) {
-	ros := st.ros
-	tagRing := st.tag("pp/ring")
-	tagPrice := st.tag("pp/price")
+func (r *windowRun) privatePricing(ctx context.Context) (price, pHat float64, err error) {
+	ros := r.ros
+	tagRing := r.tag("pp/ring")
+	tagPrice := r.tag("pp/price")
 
-	if p.ID() == ros.hb {
-		return p.pricingAsHb(ctx, st, tagRing, tagPrice)
+	if r.ID() == ros.hb {
+		return r.pricingAsHb(ctx, tagRing, tagPrice)
 	}
 
-	if st.role == market.RoleSeller {
+	if r.role == market.RoleSeller {
 		// Contribution: k_i (fixed) and the Eq. 13 denominator term.
-		kFixed, err := fixed.FromFloat(p.agent.K)
+		kFixed, err := fixed.FromFloat(r.agent.K)
 		if err != nil {
 			return 0, 0, fmt.Errorf("k out of range: %w", err)
 		}
 		term := market.SellerParams{
-			K:       p.agent.K,
-			Epsilon: p.agent.Epsilon,
-			Gen:     st.input.Generation,
-			Battery: st.input.Battery,
+			K:       r.agent.K,
+			Epsilon: r.agent.Epsilon,
+			Gen:     r.input.Generation,
+			Battery: r.input.Battery,
 		}.PriceTerm()
 		termFixed, err := fixed.FromFloat(term)
 		if err != nil {
 			return 0, 0, fmt.Errorf("price term out of range: %w", err)
 		}
-		if err := p.pricingRingStep(ctx, st, tagRing, kFixed.Big(), termFixed.Big()); err != nil {
+		if err := r.pricingRingStep(ctx, tagRing, kFixed.Big(), termFixed.Big()); err != nil {
 			return 0, 0, err
 		}
 	}
 
 	// Everyone except Hb waits for the broadcast price pair (p*, p̂ is not
 	// revealed — only the clamped price goes out; p̂ stays with Hb).
-	raw, err := p.conn.Recv(ctx, ros.hb, tagPrice)
+	raw, err := r.conn.Recv(ctx, ros.hb, tagPrice)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -63,40 +63,40 @@ func (p *Party) privatePricing(ctx context.Context, st *windowState) (price, pHa
 	}
 	pv := fixed.Value(int64(binary.BigEndian.Uint64(raw)))
 	price = pv.Float()
-	if price < p.cfg.Params.PriceFloor-1e-9 || price > p.cfg.Params.PriceCeil+1e-9 {
-		return 0, 0, fmt.Errorf("broadcast price %.4f outside [%v, %v]", price, p.cfg.Params.PriceFloor, p.cfg.Params.PriceCeil)
+	if price < r.cfg.Params.PriceFloor-1e-9 || price > r.cfg.Params.PriceCeil+1e-9 {
+		return 0, 0, fmt.Errorf("broadcast price %.4f outside [%v, %v]", price, r.cfg.Params.PriceFloor, r.cfg.Params.PriceCeil)
 	}
 	return price, 0, nil
 }
 
 // pricingRingStep folds this seller's two ciphertexts into the running
 // pair and forwards it along the seller ring (sink: Hb).
-func (p *Party) pricingRingStep(ctx context.Context, st *windowState, tag string, kContrib, termContrib *big.Int) error {
-	ros := st.ros
+func (r *windowRun) pricingRingStep(ctx context.Context, tag string, kContrib, termContrib *big.Int) error {
+	ros := r.ros
 	order := ros.sellers
 	pos := -1
 	for i, id := range order {
-		if id == p.ID() {
+		if id == r.ID() {
 			pos = i
 			break
 		}
 	}
 	if pos == -1 {
-		return fmt.Errorf("seller %s not in pricing ring", p.ID())
+		return fmt.Errorf("seller %s not in pricing ring", r.ID())
 	}
 
-	encK, err := p.encryptUnder(ctx, ros.hb, kContrib)
+	encK, err := r.encryptUnder(ctx, ros.hb, kContrib)
 	if err != nil {
 		return fmt.Errorf("pricing: encrypt k: %w", err)
 	}
-	encT, err := p.encryptUnder(ctx, ros.hb, termContrib)
+	encT, err := r.encryptUnder(ctx, ros.hb, termContrib)
 	if err != nil {
 		return fmt.Errorf("pricing: encrypt term: %w", err)
 	}
 
 	accK, accT := encK, encT
 	if pos > 0 {
-		raw, err := p.conn.Recv(ctx, order[pos-1], tag)
+		raw, err := r.conn.Recv(ctx, order[pos-1], tag)
 		if err != nil {
 			return fmt.Errorf("pricing ring recv: %w", err)
 		}
@@ -104,7 +104,7 @@ func (p *Party) pricingRingStep(ctx context.Context, st *windowState, tag string
 		if err != nil {
 			return err
 		}
-		pk := p.dir[ros.hb]
+		pk := r.dir[ros.hb]
 		if accK, err = pk.Add(inK, encK); err != nil {
 			return err
 		}
@@ -121,15 +121,15 @@ func (p *Party) pricingRingStep(ctx context.Context, st *windowState, tag string
 	if err != nil {
 		return err
 	}
-	return p.conn.Send(ctx, next, tag, payload)
+	return r.conn.Send(ctx, next, tag, payload)
 }
 
 // pricingAsHb is the chosen buyer's side: collect the aggregate, compute
 // and broadcast the clamped price.
-func (p *Party) pricingAsHb(ctx context.Context, st *windowState, tagRing, tagPrice string) (price, pHat float64, err error) {
-	ros := st.ros
+func (r *windowRun) pricingAsHb(ctx context.Context, tagRing, tagPrice string) (price, pHat float64, err error) {
+	ros := r.ros
 	last := ros.sellers[len(ros.sellers)-1]
-	raw, err := p.conn.Recv(ctx, last, tagRing)
+	raw, err := r.conn.Recv(ctx, last, tagRing)
 	if err != nil {
 		return 0, 0, fmt.Errorf("pricing: recv aggregate: %w", err)
 	}
@@ -137,11 +137,11 @@ func (p *Party) pricingAsHb(ctx context.Context, st *windowState, tagRing, tagPr
 	if err != nil {
 		return 0, 0, err
 	}
-	sumKBig, err := p.key.Decrypt(ctK)
+	sumKBig, err := r.key.Decrypt(ctK)
 	if err != nil {
 		return 0, 0, fmt.Errorf("pricing: decrypt Σk: %w", err)
 	}
-	sumTBig, err := p.key.Decrypt(ctT)
+	sumTBig, err := r.key.Decrypt(ctT)
 	if err != nil {
 		return 0, 0, fmt.Errorf("pricing: decrypt Σterm: %w", err)
 	}
@@ -154,14 +154,14 @@ func (p *Party) pricingAsHb(ctx context.Context, st *windowState, tagRing, tagPr
 		return 0, 0, fmt.Errorf("pricing: Σterm overflow: %w", err)
 	}
 
-	pHat, err = market.RawOptimalPrice(sumK.Float(), sumT.Float(), p.cfg.Params.GridRetailPrice)
+	pHat, err = market.RawOptimalPrice(sumK.Float(), sumT.Float(), r.cfg.Params.GridRetailPrice)
 	if err != nil {
 		return 0, 0, fmt.Errorf("pricing: %w", err)
 	}
 	if math.IsNaN(pHat) {
 		return 0, 0, fmt.Errorf("pricing: p̂ is NaN")
 	}
-	price = market.ClampPrice(pHat, p.cfg.Params.PriceFloor, p.cfg.Params.PriceCeil)
+	price = market.ClampPrice(pHat, r.cfg.Params.PriceFloor, r.cfg.Params.PriceCeil)
 
 	pv, err := fixed.FromFloat(price)
 	if err != nil {
@@ -169,7 +169,7 @@ func (p *Party) pricingAsHb(ctx context.Context, st *windowState, tagRing, tagPr
 	}
 	var msg [8]byte
 	binary.BigEndian.PutUint64(msg[:], uint64(int64(pv)))
-	if err := p.broadcast(ctx, ros.all, tagPrice, msg[:]); err != nil {
+	if err := r.broadcast(ctx, ros.all, tagPrice, msg[:]); err != nil {
 		return 0, 0, err
 	}
 	// Adopt the quantized value that went on the wire so every party —

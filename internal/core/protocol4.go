@@ -30,8 +30,8 @@ import (
 //     the seller coalition (the designed leakage of Lemma 4);
 //  4. every seller i routes e_ij = sn_i · ratio_j to each buyer j, who pays
 //     m_ji = p·e_ij back.
-func (p *Party) privateDistribution(ctx context.Context, st *windowState, kind market.Kind, price float64) ([]market.Trade, error) {
-	ros := st.ros
+func (r *windowRun) privateDistribution(ctx context.Context, kind market.Kind, price float64) ([]market.Trade, error) {
+	ros := r.ros
 
 	// The "demand side" aggregates its shares; the "supply side" receives
 	// the ratios and routes energy. In the extreme market the roles swap.
@@ -41,23 +41,23 @@ func (p *Party) privateDistribution(ctx context.Context, st *windowState, kind m
 	}
 
 	// Hs: hash-chosen member of the supply side.
-	hs := supplySide[publicCoin(st.window, "hs", ros.sellers, ros.buyers, len(supplySide))]
-	st.ros.hs = hs
+	hs := supplySide[publicCoin(r.window, "hs", ros.sellers, ros.buyers, len(supplySide))]
+	r.ros.hs = hs
 
-	onDemandSide := contains(demandSide, p.ID())
-	onSupplySide := contains(supplySide, p.ID())
-	st.demandSide = demandSide
+	onDemandSide := contains(demandSide, r.ID())
+	onSupplySide := contains(supplySide, r.ID())
+	r.demandSide = demandSide
 
-	tagRing := st.tag("pd/ring")
-	tagTotal := st.tag("pd/total")
-	tagMasked := st.tag("pd/masked")
-	tagRatios := st.tag("pd/ratios")
+	tagRing := r.tag("pd/ring")
+	tagTotal := r.tag("pd/total")
+	tagMasked := r.tag("pd/masked")
+	tagRatios := r.tag("pd/ratios")
 
-	absSn := st.snFixed.Abs()
+	absSn := r.snFixed.Abs()
 
 	// --- Step 1: demand-side ring aggregation of Enc_hs(|sn|). ---
 	if onDemandSide {
-		if err := p.distributionRing(ctx, st, demandSide, hs, tagRing, tagTotal, absSn); err != nil {
+		if err := r.distributionRing(ctx, demandSide, hs, tagRing, tagTotal, absSn); err != nil {
 			return nil, err
 		}
 	}
@@ -65,19 +65,19 @@ func (p *Party) privateDistribution(ctx context.Context, st *windowState, kind m
 	// --- Steps 2–3: masked reciprocals to Hs; Hs broadcasts ratios. ---
 	var ratios map[string]float64
 	switch {
-	case p.ID() == hs:
+	case r.ID() == hs:
 		var err error
-		ratios, err = p.collectRatios(ctx, st, demandSide, supplySide, tagMasked, tagRatios)
+		ratios, err = r.collectRatios(ctx, demandSide, supplySide, tagMasked, tagRatios)
 		if err != nil {
 			return nil, err
 		}
 	case onDemandSide:
-		if err := p.sendMaskedReciprocal(ctx, st, hs, tagTotal, tagMasked, absSn); err != nil {
+		if err := r.sendMaskedReciprocal(ctx, hs, tagTotal, tagMasked, absSn); err != nil {
 			return nil, err
 		}
 	}
-	if onSupplySide && p.ID() != hs {
-		raw, err := p.conn.Recv(ctx, hs, tagRatios)
+	if onSupplySide && r.ID() != hs {
+		raw, err := r.conn.Recv(ctx, hs, tagRatios)
 		if err != nil {
 			return nil, fmt.Errorf("distribution: recv ratios: %w", err)
 		}
@@ -88,30 +88,30 @@ func (p *Party) privateDistribution(ctx context.Context, st *windowState, kind m
 	}
 
 	// --- Step 4: pairwise energy routing and payment. ---
-	return p.routeAndPay(ctx, st, kind, price, demandSide, supplySide, ratios)
+	return r.routeAndPay(ctx, kind, price, demandSide, supplySide, ratios)
 }
 
 // distributionRing folds Enc_hs(|sn|) along the demand side; the last
 // member broadcasts the encrypted total to the whole demand side.
-func (p *Party) distributionRing(ctx context.Context, st *windowState, demandSide []string, hs, tagRing, tagTotal string, absSn fixed.Value) error {
+func (r *windowRun) distributionRing(ctx context.Context, demandSide []string, hs, tagRing, tagTotal string, absSn fixed.Value) error {
 	pos := -1
 	for i, id := range demandSide {
-		if id == p.ID() {
+		if id == r.ID() {
 			pos = i
 			break
 		}
 	}
 	if pos == -1 {
-		return fmt.Errorf("distribution: %s not on demand side", p.ID())
+		return fmt.Errorf("distribution: %s not on demand side", r.ID())
 	}
 
-	enc, err := p.encryptUnder(ctx, hs, absSn.Big())
+	enc, err := r.encryptUnder(ctx, hs, absSn.Big())
 	if err != nil {
 		return fmt.Errorf("distribution: encrypt share: %w", err)
 	}
 	acc := enc
 	if pos > 0 {
-		raw, err := p.conn.Recv(ctx, demandSide[pos-1], tagRing)
+		raw, err := r.conn.Recv(ctx, demandSide[pos-1], tagRing)
 		if err != nil {
 			return fmt.Errorf("distribution ring recv: %w", err)
 		}
@@ -119,7 +119,7 @@ func (p *Party) distributionRing(ctx context.Context, st *windowState, demandSid
 		if err := in.UnmarshalBinary(raw); err != nil {
 			return fmt.Errorf("distribution ring decode: %w", err)
 		}
-		if acc, err = p.dir[hs].Add(&in, enc); err != nil {
+		if acc, err = r.dir[hs].Add(&in, enc); err != nil {
 			return err
 		}
 	}
@@ -129,7 +129,7 @@ func (p *Party) distributionRing(ctx context.Context, st *windowState, demandSid
 		if err != nil {
 			return err
 		}
-		return p.conn.Send(ctx, demandSide[pos+1], tagRing, out)
+		return r.conn.Send(ctx, demandSide[pos+1], tagRing, out)
 	}
 
 	// Last member: broadcast the encrypted total within the demand side
@@ -139,27 +139,27 @@ func (p *Party) distributionRing(ctx context.Context, st *windowState, demandSid
 		return err
 	}
 	for _, id := range demandSide {
-		if id == p.ID() {
+		if id == r.ID() {
 			continue
 		}
-		if err := p.conn.Send(ctx, id, tagTotal, out); err != nil {
+		if err := r.conn.Send(ctx, id, tagTotal, out); err != nil {
 			return err
 		}
 	}
 	// The broadcaster uses its own copy directly: stash via loopback send
 	// is unnecessary — hand it to sendMaskedReciprocal through the state.
-	st.encTotal = acc
+	r.encTotal = acc
 	return nil
 }
 
 // sendMaskedReciprocal computes Enc(total)^round(S/|sn|) and ships it to Hs
 // together with its identity.
-func (p *Party) sendMaskedReciprocal(ctx context.Context, st *windowState, hs, tagTotal, tagMasked string, absSn fixed.Value) error {
-	total := st.encTotal
+func (r *windowRun) sendMaskedReciprocal(ctx context.Context, hs, tagTotal, tagMasked string, absSn fixed.Value) error {
+	total := r.encTotal
 	if total == nil {
 		// The broadcaster is the last demand-side member.
-		last := st.demandSide[len(st.demandSide)-1]
-		raw, err := p.conn.Recv(ctx, last, tagTotal)
+		last := r.demandSide[len(r.demandSide)-1]
+		raw, err := r.conn.Recv(ctx, last, tagTotal)
 		if err != nil {
 			return fmt.Errorf("distribution: recv total: %w", err)
 		}
@@ -174,7 +174,7 @@ func (p *Party) sendMaskedReciprocal(ctx context.Context, st *windowState, hs, t
 	if err != nil {
 		return fmt.Errorf("distribution: reciprocal: %w", err)
 	}
-	masked, err := p.dir[hs].ScalarMul(total, exp)
+	masked, err := r.dir[hs].ScalarMul(total, exp)
 	if err != nil {
 		return fmt.Errorf("distribution: scalar mul: %w", err)
 	}
@@ -182,16 +182,16 @@ func (p *Party) sendMaskedReciprocal(ctx context.Context, st *windowState, hs, t
 	if err != nil {
 		return err
 	}
-	return p.conn.Send(ctx, hs, tagMasked, payload)
+	return r.conn.Send(ctx, hs, tagMasked, payload)
 }
 
 // collectRatios is Hs's side: decrypt each demand-side member's masked
 // value, recover its allocation ratio and broadcast the vector to the
 // supply side.
-func (p *Party) collectRatios(ctx context.Context, st *windowState, demandSide, supplySide []string, tagMasked, tagRatios string) (map[string]float64, error) {
+func (r *windowRun) collectRatios(ctx context.Context, demandSide, supplySide []string, tagMasked, tagRatios string) (map[string]float64, error) {
 	ratios := make(map[string]float64, len(demandSide))
 	for _, id := range demandSide {
-		raw, err := p.conn.Recv(ctx, id, tagMasked)
+		raw, err := r.conn.Recv(ctx, id, tagMasked)
 		if err != nil {
 			return nil, fmt.Errorf("distribution: recv masked from %s: %w", id, err)
 		}
@@ -199,7 +199,7 @@ func (p *Party) collectRatios(ctx context.Context, st *windowState, demandSide, 
 		if err := ct.UnmarshalBinary(raw); err != nil {
 			return nil, fmt.Errorf("distribution: decode masked from %s: %w", id, err)
 		}
-		m, err := p.key.Decrypt(&ct)
+		m, err := r.key.Decrypt(&ct)
 		if err != nil {
 			return nil, fmt.Errorf("distribution: decrypt masked from %s: %w", id, err)
 		}
@@ -215,10 +215,10 @@ func (p *Party) collectRatios(ctx context.Context, st *windowState, demandSide, 
 		return nil, err
 	}
 	for _, id := range supplySide {
-		if id == p.ID() {
+		if id == r.ID() {
 			continue
 		}
-		if err := p.conn.Send(ctx, id, tagRatios, payload); err != nil {
+		if err := r.conn.Send(ctx, id, tagRatios, payload); err != nil {
 			return nil, err
 		}
 	}
@@ -235,17 +235,17 @@ func (p *Party) collectRatios(ctx context.Context, st *windowState, demandSide, 
 // Extreme market: the initiator is a buyer; it requests e_ij =
 // |sn_j|·(sn_i/E_s) from seller i and pays m_ji = p·e_ij; the seller
 // confirms by echoing the routed amount.
-func (p *Party) routeAndPay(ctx context.Context, st *windowState, kind market.Kind, price float64, demandSide, supplySide []string, ratios map[string]float64) ([]market.Trade, error) {
-	tagEnergy := st.tag("pd/energy")
-	tagReply := st.tag("pd/reply")
+func (r *windowRun) routeAndPay(ctx context.Context, kind market.Kind, price float64, demandSide, supplySide []string, ratios map[string]float64) ([]market.Trade, error) {
+	tagEnergy := r.tag("pd/energy")
+	tagReply := r.tag("pd/reply")
 
-	onSupplySide := contains(supplySide, p.ID())
-	onDemandSide := contains(demandSide, p.ID())
+	onSupplySide := contains(supplySide, r.ID())
+	onDemandSide := contains(demandSide, r.ID())
 
 	var trades []market.Trade
 	switch {
 	case onSupplySide:
-		myShare := st.snFixed.Abs().Float()
+		myShare := r.snFixed.Abs().Float()
 		ids := append([]string(nil), demandSide...)
 		sort.Strings(ids)
 		for _, id := range ids {
@@ -260,10 +260,10 @@ func (p *Party) routeAndPay(ctx context.Context, st *windowState, kind market.Ki
 			}
 			var msg [8]byte
 			binary.BigEndian.PutUint64(msg[:], uint64(int64(ev)))
-			if err := p.conn.Send(ctx, id, tagEnergy, msg[:]); err != nil {
+			if err := r.conn.Send(ctx, id, tagEnergy, msg[:]); err != nil {
 				return nil, err
 			}
-			raw, err := p.conn.Recv(ctx, id, tagReply)
+			raw, err := r.conn.Recv(ctx, id, tagReply)
 			if err != nil {
 				return nil, fmt.Errorf("distribution: reply from %s: %w", id, err)
 			}
@@ -278,18 +278,18 @@ func (p *Party) routeAndPay(ctx context.Context, st *windowState, kind market.Ki
 				if diff := reply - e*price; diff > paymentTolerance || diff < -paymentTolerance {
 					return nil, fmt.Errorf("distribution: %s paid %.6f for %.6f kWh at %.4f", id, reply, e, price)
 				}
-				trades = append(trades, market.Trade{Seller: p.ID(), Buyer: id, Energy: e, Payment: reply})
+				trades = append(trades, market.Trade{Seller: r.ID(), Buyer: id, Energy: e, Payment: reply})
 			} else {
 				// Buyer initiated; the reply confirms the routed energy.
 				if diff := reply - e; diff > paymentTolerance || diff < -paymentTolerance {
 					return nil, fmt.Errorf("distribution: %s confirmed %.6f of %.6f kWh", id, reply, e)
 				}
-				trades = append(trades, market.Trade{Seller: id, Buyer: p.ID(), Energy: e, Payment: e * price})
+				trades = append(trades, market.Trade{Seller: id, Buyer: r.ID(), Energy: e, Payment: e * price})
 			}
 		}
 	case onDemandSide:
 		for _, id := range supplySide {
-			raw, err := p.conn.Recv(ctx, id, tagEnergy)
+			raw, err := r.conn.Recv(ctx, id, tagEnergy)
 			if err != nil {
 				return nil, fmt.Errorf("distribution: energy from %s: %w", id, err)
 			}
@@ -312,7 +312,7 @@ func (p *Party) routeAndPay(ctx context.Context, st *windowState, kind market.Ki
 			}
 			var msg [8]byte
 			binary.BigEndian.PutUint64(msg[:], uint64(int64(rv)))
-			if err := p.conn.Send(ctx, id, tagReply, msg[:]); err != nil {
+			if err := r.conn.Send(ctx, id, tagReply, msg[:]); err != nil {
 				return nil, err
 			}
 		}

@@ -10,33 +10,22 @@ import (
 
 // encryptUnder encrypts m under the public key of holder, using the
 // pre-computed blinding-factor pool when enabled (the paper's idle-time
-// encryption).
-func (p *Party) encryptUnder(ctx context.Context, holder string, m *big.Int) (*paillier.Ciphertext, error) {
-	pk, ok := p.dir[holder]
+// encryption). The pool is session-scoped and shared by concurrent
+// windows; the inline fallback draws from this window's own stream.
+func (r *windowRun) encryptUnder(ctx context.Context, holder string, m *big.Int) (*paillier.Ciphertext, error) {
+	pk, ok := r.dir[holder]
 	if !ok {
 		return nil, fmt.Errorf("no public key for %s", holder)
 	}
-	if !p.cfg.PreEncrypt {
-		return pk.Encrypt(p.random, m)
+	if !r.cfg.PreEncrypt {
+		return pk.Encrypt(r.random, m)
 	}
-	pool := p.poolFor(holder, pk)
+	pool := r.poolFor(holder, pk)
 	factor, err := pool.Take(ctx)
 	if err != nil {
 		return nil, err
 	}
 	return pk.EncryptWithFactor(m, factor)
-}
-
-// poolFor returns (lazily creating) the blinding-factor pool for a peer key.
-func (p *Party) poolFor(holder string, pk *paillier.PublicKey) *paillier.NoncePool {
-	p.poolMu.Lock()
-	defer p.poolMu.Unlock()
-	if pool, ok := p.pools[holder]; ok {
-		return pool
-	}
-	pool := paillier.NewNoncePool(pk, paillier.PoolConfig{Target: 4, Workers: 1, Random: p.random})
-	p.pools[holder] = pool
-	return pool
 }
 
 // ringAggregate implements the sequential homomorphic accumulation used by
@@ -49,26 +38,26 @@ func (p *Party) poolFor(holder string, pk *paillier.PublicKey) *paillier.NoncePo
 // fixed-point encoded); keyHolder identifies whose public key encrypts the
 // chain; tag scopes the messages. Members not in order (and the sink)
 // receive the result via ringCollect instead.
-func (p *Party) ringAggregate(ctx context.Context, order []string, keyHolder, sink, tag string, contribution *big.Int) error {
+func (r *windowRun) ringAggregate(ctx context.Context, order []string, keyHolder, sink, tag string, contribution *big.Int) error {
 	pos := -1
 	for i, id := range order {
-		if id == p.ID() {
+		if id == r.ID() {
 			pos = i
 			break
 		}
 	}
 	if pos == -1 {
-		return fmt.Errorf("party %s not in ring %s", p.ID(), tag)
+		return fmt.Errorf("party %s not in ring %s", r.ID(), tag)
 	}
 
-	enc, err := p.encryptUnder(ctx, keyHolder, contribution)
+	enc, err := r.encryptUnder(ctx, keyHolder, contribution)
 	if err != nil {
 		return fmt.Errorf("ring %s: encrypt: %w", tag, err)
 	}
 
 	acc := enc
 	if pos > 0 {
-		raw, err := p.conn.Recv(ctx, order[pos-1], tag)
+		raw, err := r.conn.Recv(ctx, order[pos-1], tag)
 		if err != nil {
 			return fmt.Errorf("ring %s: recv: %w", tag, err)
 		}
@@ -76,7 +65,7 @@ func (p *Party) ringAggregate(ctx context.Context, order []string, keyHolder, si
 		if err := incoming.UnmarshalBinary(raw); err != nil {
 			return fmt.Errorf("ring %s: decode: %w", tag, err)
 		}
-		pk := p.dir[keyHolder]
+		pk := r.dir[keyHolder]
 		acc, err = pk.Add(&incoming, enc)
 		if err != nil {
 			return fmt.Errorf("ring %s: fold: %w", tag, err)
@@ -91,7 +80,7 @@ func (p *Party) ringAggregate(ctx context.Context, order []string, keyHolder, si
 	if err != nil {
 		return err
 	}
-	if err := p.conn.Send(ctx, next, tag, out); err != nil {
+	if err := r.conn.Send(ctx, next, tag, out); err != nil {
 		return fmt.Errorf("ring %s: send: %w", tag, err)
 	}
 	return nil
@@ -99,11 +88,11 @@ func (p *Party) ringAggregate(ctx context.Context, order []string, keyHolder, si
 
 // ringCollect is the sink side of ringAggregate: receive the final
 // ciphertext from the last ring member and decrypt it.
-func (p *Party) ringCollect(ctx context.Context, order []string, tag string) (*big.Int, error) {
+func (r *windowRun) ringCollect(ctx context.Context, order []string, tag string) (*big.Int, error) {
 	if len(order) == 0 {
 		return nil, fmt.Errorf("ring %s: empty ring", tag)
 	}
-	raw, err := p.conn.Recv(ctx, order[len(order)-1], tag)
+	raw, err := r.conn.Recv(ctx, order[len(order)-1], tag)
 	if err != nil {
 		return nil, fmt.Errorf("ring %s: recv final: %w", tag, err)
 	}
@@ -111,7 +100,7 @@ func (p *Party) ringCollect(ctx context.Context, order []string, tag string) (*b
 	if err := ct.UnmarshalBinary(raw); err != nil {
 		return nil, fmt.Errorf("ring %s: decode final: %w", tag, err)
 	}
-	m, err := p.key.Decrypt(&ct)
+	m, err := r.key.Decrypt(&ct)
 	if err != nil {
 		return nil, fmt.Errorf("ring %s: decrypt: %w", tag, err)
 	}
@@ -130,12 +119,12 @@ func without(order []string, id string) []string {
 }
 
 // broadcast sends payload to every listed party except self.
-func (p *Party) broadcast(ctx context.Context, to []string, tag string, payload []byte) error {
+func (r *windowRun) broadcast(ctx context.Context, to []string, tag string, payload []byte) error {
 	for _, id := range to {
-		if id == p.ID() {
+		if id == r.ID() {
 			continue
 		}
-		if err := p.conn.Send(ctx, id, tag, payload); err != nil {
+		if err := r.conn.Send(ctx, id, tag, payload); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/pem-go/pem/internal/market"
+)
+
+// The scheduler is the third layer of the engine split (see session.go):
+// it executes trading windows through the session layer with bounded
+// parallelism. Each window is an independent protocol instance — its
+// message tags live in their own transport namespace and its randomness is
+// derived per (party, window) — so up to Config.MaxInflightWindows windows
+// can be in flight at once without cross-talk. Results are delivered in
+// job order regardless of completion order, and a seeded engine produces
+// bit-identical outcomes at any pipeline depth.
+
+// WindowJob pairs a window number with the fleet's private inputs for it.
+type WindowJob struct {
+	Window int
+	Inputs []market.WindowInput
+}
+
+// WindowError wraps a failure with the window it occurred in.
+type WindowError struct {
+	Window int
+	Err    error
+}
+
+func (e *WindowError) Error() string { return fmt.Sprintf("core: window %d: %v", e.Window, e.Err) }
+
+// Unwrap supports errors.Is/As.
+func (e *WindowError) Unwrap() error { return e.Err }
+
+// RunWindow executes Protocol 1 for one window — the depth-1 special case
+// of the scheduler.
+func (e *Engine) RunWindow(ctx context.Context, window int, inputs []market.WindowInput) (*WindowResult, error) {
+	results, err := e.StreamWindows(ctx, []WindowJob{{Window: window, Inputs: inputs}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunWindows executes the jobs with up to Config.MaxInflightWindows
+// windows in flight. results[i] corresponds to jobs[i].
+func (e *Engine) RunWindows(ctx context.Context, jobs []WindowJob) ([]*WindowResult, error) {
+	return e.StreamWindows(ctx, jobs, nil)
+}
+
+// StreamWindows is the scheduler: it pipelines the jobs with bounded
+// parallelism and invokes sink (when non-nil) for each result in strict
+// job order as soon as that window — and every window before it — has
+// completed.
+//
+// Window numbers must be unique within one call: the number names the
+// window's transport tag namespace, so two instances of the same number in
+// flight would share queues and cross-talk. For the same reason, callers
+// issuing concurrent scheduling calls against one engine must keep their
+// window numbers disjoint.
+//
+// Failure semantics: a failing window cancels only itself. The scheduler
+// then stops launching new windows, lets the ones already in flight drain,
+// and returns the failed window's error (the earliest by job order when
+// several fail). Results of windows that completed are still filled in;
+// sink is never called for jobs at or after the first failure. A sink
+// error aborts the whole run, cancelling the in-flight windows.
+func (e *Engine) StreamWindows(ctx context.Context, jobs []WindowJob, sink func(*WindowResult) error) ([]*WindowResult, error) {
+	n := len(jobs)
+	results := make([]*WindowResult, n)
+	if n == 0 {
+		return results, nil
+	}
+	seen := make(map[int]bool, n)
+	for _, job := range jobs {
+		if seen[job.Window] {
+			return results, fmt.Errorf("core: duplicate window %d in schedule", job.Window)
+		}
+		seen[job.Window] = true
+	}
+	maxInflight := e.cfg.MaxInflightWindows
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+
+	runCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	var (
+		mu     sync.Mutex
+		failed bool
+		errs   = make([]error, n)
+		done   = make([]chan struct{}, n)
+		wg     sync.WaitGroup
+	)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, maxInflight)
+
+	// Launcher: admit jobs in order as pipeline slots free up, stopping at
+	// the first observed failure. Unlaunched jobs have their done channels
+	// closed with neither a result nor an error ("skipped").
+	go func() {
+		for i := range jobs {
+			sem <- struct{}{}
+			mu.Lock()
+			stop := failed
+			mu.Unlock()
+			if stop || runCtx.Err() != nil {
+				<-sem
+				for j := i; j < n; j++ {
+					close(done[j])
+				}
+				return
+			}
+			wg.Add(1)
+			go func(i int, job WindowJob) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				defer close(done[i])
+				res, err := e.runScheduled(runCtx, job)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					errs[i] = err
+					failed = true
+					return
+				}
+				results[i] = res
+			}(i, jobs[i])
+		}
+	}()
+
+	// Waiter: deliver results in job order; remember the earliest failure.
+	var firstErr error
+	for i := 0; i < n; i++ {
+		<-done[i]
+		mu.Lock()
+		res, err := results[i], errs[i]
+		mu.Unlock()
+		if firstErr != nil {
+			continue
+		}
+		switch {
+		case err != nil:
+			firstErr = err
+		case res != nil && sink != nil:
+			if err := sink(res); err != nil {
+				firstErr = err
+				cancelAll() // caller aborted: tear down the in-flight windows
+			}
+		}
+	}
+	wg.Wait()
+	if firstErr == nil {
+		// Jobs the launcher skipped carry neither a result nor an error;
+		// that only happens without a window failure when the caller's
+		// context was cancelled — surface it rather than returning nil
+		// results with a nil error.
+		firstErr = ctx.Err()
+	}
+	return results, firstErr
+}
+
+// runScheduled wraps one window execution with session-lifecycle
+// accounting and window-tagged errors.
+func (e *Engine) runScheduled(ctx context.Context, job WindowJob) (*WindowResult, error) {
+	if err := e.beginWindow(); err != nil {
+		return nil, &WindowError{Window: job.Window, Err: err}
+	}
+	defer e.endWindow()
+	res, err := e.runOne(ctx, job.Window, job.Inputs)
+	if err != nil {
+		return nil, &WindowError{Window: job.Window, Err: err}
+	}
+	return res, nil
+}

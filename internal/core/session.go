@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/transport"
+)
+
+// This file is the session layer of the engine's three-layer split:
+//
+//	session (Party)  — long-lived per-party state, independent of any window
+//	protocol run     — one window's roster, randomness and tags (window.go)
+//	scheduler        — bounded-parallel window execution (scheduler.go)
+//
+// A Party owns exactly the state that outlives a trading window: its
+// Paillier key pair, the fleet key directory, its transport endpoint and
+// the idle-time pre-encryption pools. Everything window-scoped — roster,
+// masking nonce, message tags, the randomness stream feeding the garbled
+// circuit — lives in a windowRun, so several windows can be in flight on
+// the same Party without sharing any mutable state.
+
+// Party is one agent's protocol endpoint.
+type Party struct {
+	agent market.Agent
+	cfg   Config
+
+	conn transport.Conn
+	key  *paillier.PrivateKey
+	dir  map[string]*paillier.PublicKey // all parties' Paillier keys
+
+	poolMu sync.Mutex
+	pools  map[string]*paillier.NoncePool // peer -> blinding-factor pool
+}
+
+// newParty assembles a session from provisioned key material.
+func newParty(cfg Config, agent market.Agent, conn transport.Conn, key *paillier.PrivateKey, dir map[string]*paillier.PublicKey) *Party {
+	return &Party{
+		agent: agent,
+		cfg:   cfg,
+		conn:  conn,
+		key:   key,
+		dir:   dir,
+		pools: make(map[string]*paillier.NoncePool),
+	}
+}
+
+// ID returns the party identifier.
+func (p *Party) ID() string { return p.agent.ID }
+
+// ReplaceConn swaps a party's transport (tests wrap it in a FaultConn).
+func (p *Party) ReplaceConn(c transport.Conn) { p.conn = c }
+
+// windowRandom derives the randomness stream for one window's protocol run.
+// Each (party, window) pair gets an independent stream, which serves two
+// purposes: concurrent windows never contend on a shared (non-thread-safe)
+// PRNG, and a seeded engine produces bit-identical outcomes no matter how
+// the scheduler interleaves windows.
+func (p *Party) windowRandom(window int) io.Reader {
+	return partyRandom(p.cfg, p.agent.ID, fmt.Sprintf("protocol/w%d", window))
+}
+
+// poolFor returns (lazily creating) the blinding-factor pool for a peer
+// key. Pools are session-scoped: they persist across windows and are shared
+// by every window in flight (NoncePool is safe for concurrent Take). Each
+// pool draws from its own derived randomness stream so background refills
+// never race the protocol-path readers.
+func (p *Party) poolFor(holder string, pk *paillier.PublicKey) *paillier.NoncePool {
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	if pool, ok := p.pools[holder]; ok {
+		return pool
+	}
+	pool := paillier.NewNoncePool(pk, paillier.PoolConfig{
+		Target:  4,
+		Workers: 1,
+		Random:  partyRandom(p.cfg, p.agent.ID, "pool/"+holder),
+	})
+	p.pools[holder] = pool
+	return pool
+}
+
+// closePools stops the pre-encryption workers. Called by the engine once no
+// window is in flight; a standalone party may call it via Close.
+func (p *Party) closePools() {
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	for _, pool := range p.pools {
+		pool.Close()
+	}
+	p.pools = make(map[string]*paillier.NoncePool)
+}
+
+// Close releases the standalone party's background resources. Parties
+// inside an Engine are closed by Engine.Close, which first drains in-flight
+// windows.
+func (p *Party) Close() { p.closePools() }

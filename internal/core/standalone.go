@@ -39,15 +39,8 @@ func NewStandaloneParty(cfg Config, agent market.Agent, conn transport.Conn) (*P
 	if err != nil {
 		return nil, fmt.Errorf("core: keygen: %w", err)
 	}
-	return &Party{
-		agent:  agent,
-		cfg:    cfg,
-		conn:   conn,
-		key:    key,
-		dir:    map[string]*paillier.PublicKey{agent.ID: &key.PublicKey},
-		random: partyRandom(cfg, agent.ID, "protocol"),
-		pools:  make(map[string]*paillier.NoncePool),
-	}, nil
+	dir := map[string]*paillier.PublicKey{agent.ID: &key.PublicKey}
+	return newParty(cfg, agent, conn, key, dir), nil
 }
 
 // ExchangeKeys broadcasts this party's Paillier public key to every peer

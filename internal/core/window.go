@@ -5,11 +5,13 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sort"
 
 	"github.com/pem-go/pem/internal/fixed"
 	"github.com/pem-go/pem/internal/market"
 	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/transport"
 )
 
 // roster is the public per-window view every party derives identically:
@@ -67,9 +69,18 @@ func buildRoster(window int, all, sellers, buyers []string) *roster {
 	return r
 }
 
-// windowState carries one party's private view of the current window.
-type windowState struct {
+// windowRun is one party's protocol-run object for a single trading
+// window: its private view of the window, the window-scoped randomness
+// stream and the window's tag namespace. It embeds the session layer
+// (*Party) for keys, directory, transport and nonce pools, but owns no
+// state shared with other windows — which is what makes it safe for the
+// scheduler to keep several windows in flight on the same party.
+type windowRun struct {
+	*Party
 	window int
+	// random is this window's derived randomness stream (see
+	// Party.windowRandom); never shared across windows.
+	random io.Reader
 	input  market.WindowInput
 	// snFixed is the fixed-point net energy sn_i^t.
 	snFixed fixed.Value
@@ -84,9 +95,9 @@ type windowState struct {
 	encTotal   *paillier.Ciphertext
 }
 
-// tag builds a window-scoped message tag.
-func (w *windowState) tag(parts string) string {
-	return fmt.Sprintf("w%d/%s", w.window, parts)
+// tag scopes a message tag under this window's transport namespace.
+func (r *windowRun) tag(parts string) string {
+	return transport.WindowTag(r.window, parts)
 }
 
 // runWindow is Protocol 1 from one party's perspective.
@@ -95,38 +106,44 @@ func (p *Party) runWindow(ctx context.Context, window int, input market.WindowIn
 	if err != nil {
 		return nil, fmt.Errorf("window %d: net energy: %w", window, err)
 	}
-	st := &windowState{window: window, input: input, snFixed: snFixed}
+	r := &windowRun{
+		Party:   p,
+		window:  window,
+		random:  p.windowRandom(window),
+		input:   input,
+		snFixed: snFixed,
+	}
 	switch {
 	case snFixed > 0:
-		st.role = market.RoleSeller
+		r.role = market.RoleSeller
 	case snFixed < 0:
-		st.role = market.RoleBuyer
+		r.role = market.RoleBuyer
 	default:
-		st.role = market.RoleOff
+		r.role = market.RoleOff
 	}
-	st.nonce, err = p.drawNonce()
+	r.nonce, err = r.drawNonce()
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 0: role announcement — coalition membership is public.
-	if err := p.announceRoles(ctx, st); err != nil {
+	if err := r.announceRoles(ctx); err != nil {
 		return nil, fmt.Errorf("window %d: roles: %w", window, err)
 	}
 	rep := &partyReport{
-		sellerCount: len(st.ros.sellers),
-		buyerCount:  len(st.ros.buyers),
+		sellerCount: len(r.ros.sellers),
+		buyerCount:  len(r.ros.buyers),
 	}
 
 	// Degenerate coalitions: no protocols; grid handles everything
 	// (Protocol 1 initialization rule).
-	if len(st.ros.sellers) == 0 {
+	if len(r.ros.sellers) == 0 {
 		rep.kind = market.GeneralMarket
 		rep.price = p.cfg.Params.GridRetailPrice
 		rep.degenerate = true
 		return rep, nil
 	}
-	if len(st.ros.buyers) == 0 {
+	if len(r.ros.buyers) == 0 {
 		rep.kind = market.ExtremeMarket
 		rep.price = p.cfg.Params.PriceFloor
 		rep.degenerate = true
@@ -134,7 +151,7 @@ func (p *Party) runWindow(ctx context.Context, window int, input market.WindowIn
 	}
 
 	// Phase 1: Private Market Evaluation (Protocol 2).
-	kind, err := p.privateMarketEvaluation(ctx, st)
+	kind, err := r.privateMarketEvaluation(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("window %d: market evaluation: %w", window, err)
 	}
@@ -142,7 +159,7 @@ func (p *Party) runWindow(ctx context.Context, window int, input market.WindowIn
 
 	// Phase 2: price discovery.
 	if kind == market.GeneralMarket {
-		price, pHat, err := p.privatePricing(ctx, st)
+		price, pHat, err := r.privatePricing(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("window %d: pricing: %w", window, err)
 		}
@@ -153,7 +170,7 @@ func (p *Party) runWindow(ctx context.Context, window int, input market.WindowIn
 	}
 
 	// Phase 3: Private Distribution (Protocol 4).
-	trades, err := p.privateDistribution(ctx, st, kind, rep.price)
+	trades, err := r.privateDistribution(ctx, kind, rep.price)
 	if err != nil {
 		return nil, fmt.Errorf("window %d: distribution: %w", window, err)
 	}
@@ -162,30 +179,30 @@ func (p *Party) runWindow(ctx context.Context, window int, input market.WindowIn
 }
 
 // drawNonce samples the Protocol 2 masking nonce in [0, 2^NonceBits).
-func (p *Party) drawNonce() (uint64, error) {
+func (r *windowRun) drawNonce() (uint64, error) {
 	var buf [8]byte
-	if _, err := p.random.Read(buf[:]); err != nil {
+	if _, err := r.random.Read(buf[:]); err != nil {
 		return 0, fmt.Errorf("draw nonce: %w", err)
 	}
-	return binary.BigEndian.Uint64(buf[:]) >> (64 - uint(p.cfg.NonceBits)), nil
+	return binary.BigEndian.Uint64(buf[:]) >> (64 - uint(r.cfg.NonceBits)), nil
 }
 
 // announceRoles broadcasts this party's role and collects everyone else's,
 // then builds the deterministic roster.
-func (p *Party) announceRoles(ctx context.Context, st *windowState) error {
-	tag := st.tag("role")
-	msg := []byte{byte(st.role)}
-	all := make([]string, 0, len(p.dir))
-	for id := range p.dir {
+func (r *windowRun) announceRoles(ctx context.Context) error {
+	tag := r.tag("role")
+	msg := []byte{byte(r.role)}
+	all := make([]string, 0, len(r.dir))
+	for id := range r.dir {
 		all = append(all, id)
 	}
 	sort.Strings(all)
 
 	for _, id := range all {
-		if id == p.ID() {
+		if id == r.ID() {
 			continue
 		}
-		if err := p.conn.Send(ctx, id, tag, msg); err != nil {
+		if err := r.conn.Send(ctx, id, tag, msg); err != nil {
 			return err
 		}
 	}
@@ -198,12 +215,12 @@ func (p *Party) announceRoles(ctx context.Context, st *windowState) error {
 			buyers = append(buyers, id)
 		}
 	}
-	record(p.ID(), st.role)
+	record(r.ID(), r.role)
 	for _, id := range all {
-		if id == p.ID() {
+		if id == r.ID() {
 			continue
 		}
-		raw, err := p.conn.Recv(ctx, id, tag)
+		raw, err := r.conn.Recv(ctx, id, tag)
 		if err != nil {
 			return err
 		}
@@ -218,6 +235,6 @@ func (p *Party) announceRoles(ctx context.Context, st *windowState) error {
 	}
 	sort.Strings(sellers)
 	sort.Strings(buyers)
-	st.ros = buildRoster(st.window, all, sellers, buyers)
+	r.ros = buildRoster(r.window, all, sellers, buyers)
 	return nil
 }

@@ -2,6 +2,8 @@ package gc
 
 import (
 	"context"
+	"encoding/binary"
+	"io"
 	mrand "math/rand"
 	"testing"
 	"testing/quick"
@@ -251,7 +253,9 @@ func TestDecodeMaterialRejectsCorruption(t *testing.T) {
 	}
 }
 
-// runSecureCompare drives both protocol roles over an in-memory bus.
+// runSecureCompare drives both protocol roles over an in-memory bus. The
+// roles run concurrently, so each gets its own PRNG derived from the
+// caller's seeded source (math/rand readers are not goroutine-safe).
 func runSecureCompare(t *testing.T, a, b uint64, bits int, opts ProtocolOptions) (CompareResult, CompareResult) {
 	t.Helper()
 	bus := transport.NewBus(nil)
@@ -260,16 +264,23 @@ func runSecureCompare(t *testing.T, a, b uint64, bits int, opts ProtocolOptions)
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
+	gOpts, eOpts := opts, opts
+	if opts.Random != nil {
+		seeded := mrand.New(mrand.NewSource(int64(mustRead64(t, opts.Random))))
+		gOpts.Random = mrand.New(mrand.NewSource(seeded.Int63()))
+		eOpts.Random = mrand.New(mrand.NewSource(seeded.Int63()))
+	}
+
 	type res struct {
 		r   CompareResult
 		err error
 	}
 	gc := make(chan res, 1)
 	go func() {
-		r, err := SecureCompareGarbler(ctx, gConn, "evaluator", "cmp", a, bits, opts)
+		r, err := SecureCompareGarbler(ctx, gConn, "evaluator", "cmp", a, bits, gOpts)
 		gc <- res{r, err}
 	}()
-	er, err := SecureCompareEvaluator(ctx, eConn, "garbler", "cmp", b, bits, opts)
+	er, err := SecureCompareEvaluator(ctx, eConn, "garbler", "cmp", b, bits, eOpts)
 	if err != nil {
 		t.Fatalf("evaluator: %v", err)
 	}
@@ -278,6 +289,16 @@ func runSecureCompare(t *testing.T, a, b uint64, bits int, opts ProtocolOptions)
 		t.Fatalf("garbler: %v", gr.err)
 	}
 	return gr.r, er
+}
+
+// mustRead64 draws eight bytes from r as a derivation seed.
+func mustRead64(t *testing.T, r io.Reader) uint64 {
+	t.Helper()
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	return binary.BigEndian.Uint64(buf[:])
 }
 
 func TestSecureCompareProtocol(t *testing.T) {

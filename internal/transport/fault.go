@@ -9,12 +9,17 @@ import (
 // dropping messages, corrupting payloads, or failing sends outright. The
 // PEM protocols must detect such faults and abort the trading window rather
 // than produce incorrect trades.
+//
+// Faults can be scoped to a single trading window's tag namespace (see
+// WindowTag), which lets the pipelined-scheduler tests kill one in-flight
+// window while asserting its neighbours complete untouched.
 type FaultConn struct {
 	inner Conn
 
 	mu      sync.Mutex
 	dropTag map[string]int // tag -> remaining drops
 	corrupt map[string]int // tag -> remaining corruptions
+	failWin map[int]bool   // window -> fail every send in its namespace
 	failAll bool
 }
 
@@ -26,6 +31,7 @@ func NewFaultConn(inner Conn) *FaultConn {
 		inner:   inner,
 		dropTag: make(map[string]int),
 		corrupt: make(map[string]int),
+		failWin: make(map[int]bool),
 	}
 }
 
@@ -43,11 +49,30 @@ func (f *FaultConn) CorruptNext(tag string, n int) {
 	f.corrupt[tag] += n
 }
 
+// DropNextInWindow scopes DropNext to one window's namespace.
+func (f *FaultConn) DropNextInWindow(window int, tag string, n int) {
+	f.DropNext(WindowTag(window, tag), n)
+}
+
+// CorruptNextInWindow scopes CorruptNext to one window's namespace.
+func (f *FaultConn) CorruptNextInWindow(window int, tag string, n int) {
+	f.CorruptNext(WindowTag(window, tag), n)
+}
+
 // FailAll makes every subsequent Send return ErrClosed.
 func (f *FaultConn) FailAll() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.failAll = true
+}
+
+// FailWindow makes every subsequent Send inside the given window's tag
+// namespace return ErrClosed, leaving other windows and session traffic
+// untouched.
+func (f *FaultConn) FailWindow(window int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWin[window] = true
 }
 
 // Party implements Conn.
@@ -59,6 +84,12 @@ func (f *FaultConn) Send(ctx context.Context, to, tag string, payload []byte) er
 	if f.failAll {
 		f.mu.Unlock()
 		return ErrClosed
+	}
+	if len(f.failWin) > 0 {
+		if w, _, ok := ParseWindowTag(tag); ok && f.failWin[w] {
+			f.mu.Unlock()
+			return ErrClosed
+		}
 	}
 	if f.dropTag[tag] > 0 {
 		f.dropTag[tag]--

@@ -4,30 +4,47 @@ import "sync"
 
 // Metrics accumulates per-party traffic counters. It feeds the Table I
 // bandwidth experiment ("average bandwidth over m trading windows of all
-// the smart homes").
+// the smart homes"). Messages whose tag carries a window namespace (see
+// WindowTag) are additionally attributed to that window, so that windows
+// executing concurrently still get exact per-window byte accounting.
 type Metrics struct {
-	mu     sync.Mutex
-	bytes  map[string]int64
-	msgs   map[string]int64
-	totalB int64
-	totalM int64
+	mu      sync.Mutex
+	bytes   map[string]int64
+	msgs    map[string]int64
+	windowB map[int]int64
+	totalB  int64
+	totalM  int64
 }
 
 // NewMetrics creates an empty sink.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		bytes: make(map[string]int64),
-		msgs:  make(map[string]int64),
+		bytes:   make(map[string]int64),
+		msgs:    make(map[string]int64),
+		windowB: make(map[int]int64),
 	}
 }
 
-func (m *Metrics) recordSend(party string, n int) {
+func (m *Metrics) recordSend(party, tag string, n int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.bytes[party] += int64(n)
 	m.msgs[party]++
+	if w, _, ok := ParseWindowTag(tag); ok {
+		m.windowB[w] += int64(n)
+	}
 	m.totalB += int64(n)
 	m.totalM++
+}
+
+// WindowBytes returns the bytes sent so far within one window's tag
+// namespace, across all parties. Re-running the same window number on the
+// same sink accumulates; callers that need a per-run figure should diff
+// before/after values.
+func (m *Metrics) WindowBytes(window int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.windowB[window]
 }
 
 // TotalBytes returns the total bytes sent across all parties.
@@ -68,6 +85,7 @@ func (m *Metrics) Reset() {
 	defer m.mu.Unlock()
 	m.bytes = make(map[string]int64)
 	m.msgs = make(map[string]int64)
+	m.windowB = make(map[int]int64)
 	m.totalB = 0
 	m.totalM = 0
 }

@@ -18,8 +18,38 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 )
+
+// WindowTag scopes tag under the given trading window's namespace,
+// producing "w<window>/<tag>". All window-scoped protocol traffic uses this
+// form so that two windows in flight over the same Conn can never
+// cross-talk: the (from, tag) demultiplexing key differs in the window
+// prefix, and out-of-order arrivals from a faster window simply buffer in
+// their own queues. Session-scoped traffic (e.g. the Paillier key exchange)
+// uses bare tags outside any window namespace.
+func WindowTag(window int, tag string) string {
+	return "w" + strconv.Itoa(window) + "/" + tag
+}
+
+// ParseWindowTag splits a window-scoped tag into its window number and the
+// bare protocol tag. ok is false for tags outside any window namespace.
+func ParseWindowTag(tag string) (window int, rest string, ok bool) {
+	if len(tag) < 3 || tag[0] != 'w' {
+		return 0, "", false
+	}
+	slash := strings.IndexByte(tag, '/')
+	if slash < 2 {
+		return 0, "", false
+	}
+	w, err := strconv.Atoi(tag[1:slash])
+	if err != nil || w < 0 {
+		return 0, "", false
+	}
+	return w, tag[slash+1:], true
+}
 
 // Message is a single protocol datagram.
 type Message struct {

@@ -466,3 +466,105 @@ func TestTCPCloseOrderingNoDeadlock(t *testing.T) {
 		t.Fatal("Close deadlocked")
 	}
 }
+
+func TestWindowTagRoundTrip(t *testing.T) {
+	cases := []struct {
+		window int
+		tag    string
+	}{
+		{0, "role"}, {3, "pme/rb"}, {47, "pd/ring"}, {123456, "x"},
+	}
+	for _, c := range cases {
+		full := WindowTag(c.window, c.tag)
+		w, rest, ok := ParseWindowTag(full)
+		if !ok || w != c.window || rest != c.tag {
+			t.Errorf("round trip %q -> (%d, %q, %v)", full, w, rest, ok)
+		}
+	}
+	for _, bad := range []string{"", "role", "w/x", "wx/y", "w-1/x", "w3", "keys/paillier"} {
+		if _, _, ok := ParseWindowTag(bad); ok {
+			t.Errorf("ParseWindowTag accepted %q", bad)
+		}
+	}
+}
+
+func TestMetricsWindowBytes(t *testing.T) {
+	bus := NewBus(nil)
+	a := bus.MustRegister("a")
+	bus.MustRegister("b")
+	ctx := context.Background()
+
+	payload := []byte("0123456789")
+	if err := a.Send(ctx, "b", WindowTag(4, "pme/rb"), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, "b", WindowTag(7, "pme/rb"), payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, "b", "keys/paillier", payload); err != nil {
+		t.Fatal(err)
+	}
+	m := bus.Metrics()
+	b4, b7 := m.WindowBytes(4), m.WindowBytes(7)
+	if b4 <= 0 || b7 <= 0 {
+		t.Fatalf("window bytes not recorded: w4=%d w7=%d", b4, b7)
+	}
+	if b4+b7 >= m.TotalBytes() {
+		t.Fatalf("session traffic leaked into window accounting: %d+%d vs total %d", b4, b7, m.TotalBytes())
+	}
+	if m.WindowBytes(5) != 0 {
+		t.Error("untouched window has traffic")
+	}
+}
+
+func TestFaultConnFailWindow(t *testing.T) {
+	bus := NewBus(nil)
+	a := bus.MustRegister("a")
+	b := bus.MustRegister("b")
+	fc := NewFaultConn(a)
+	fc.FailWindow(2)
+	ctx := context.Background()
+
+	if err := fc.Send(ctx, "b", WindowTag(2, "role"), []byte{1}); err == nil {
+		t.Fatal("send in failed window succeeded")
+	}
+	if err := fc.Send(ctx, "b", WindowTag(1, "role"), []byte{1}); err != nil {
+		t.Fatalf("neighbouring window affected: %v", err)
+	}
+	if err := fc.Send(ctx, "b", "keys/paillier", []byte{1}); err != nil {
+		t.Fatalf("session traffic affected: %v", err)
+	}
+	if _, err := b.Recv(ctx, "a", WindowTag(1, "role")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultConnWindowScopedDropCorrupt(t *testing.T) {
+	bus := NewBus(nil)
+	a := bus.MustRegister("a")
+	b := bus.MustRegister("b")
+	fc := NewFaultConn(a)
+	fc.DropNextInWindow(3, "role", 1)
+	fc.CorruptNextInWindow(5, "role", 1)
+	ctx := context.Background()
+
+	// Window 3: dropped; window 4: clean; window 5: corrupted.
+	for _, w := range []int{3, 4, 5} {
+		if err := fc.Send(ctx, "b", WindowTag(w, "role"), []byte{0xaa}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.Recv(ctx, "a", WindowTag(4, "role"))
+	if err != nil || len(got) != 1 || got[0] != 0xaa {
+		t.Fatalf("clean window payload wrong: %v %v", got, err)
+	}
+	got, err = b.Recv(ctx, "a", WindowTag(5, "role"))
+	if err != nil || len(got) != 1 || got[0] == 0xaa {
+		t.Fatalf("corrupted window payload unchanged: %v %v", got, err)
+	}
+	ctxShort, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if _, err := b.Recv(ctxShort, "a", WindowTag(3, "role")); err == nil {
+		t.Fatal("dropped message arrived")
+	}
+}

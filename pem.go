@@ -106,6 +106,13 @@ type Config struct {
 	// RecordLedger appends every window's trades to a hash-chained ledger
 	// (the paper's blockchain-deployment discussion). Default true.
 	RecordLedger *bool
+	// MaxInflightWindows is how many trading windows RunWindows, RunDay and
+	// StreamDay keep in flight concurrently (default 1: strictly
+	// sequential, the paper's deployment). Each window is an independent
+	// protocol instance with its own transport tag namespace and
+	// randomness stream, so pipelining never changes outcomes — a seeded
+	// market produces bit-identical results at any depth.
+	MaxInflightWindows int
 }
 
 // Market is a running private energy market.
@@ -123,12 +130,13 @@ func NewMarket(cfg Config, agents []Agent) (*Market, error) {
 		return nil, errors.New("pem: no agents")
 	}
 	coreCfg := core.Config{
-		KeyBits:        cfg.KeyBits,
-		Params:         cfg.Params,
-		UseOTExtension: cfg.UseOTExtension,
-		GRR3:           cfg.GRR3,
-		PreEncrypt:     cfg.PreEncrypt == nil || *cfg.PreEncrypt,
-		Seed:           cfg.Seed,
+		KeyBits:            cfg.KeyBits,
+		Params:             cfg.Params,
+		UseOTExtension:     cfg.UseOTExtension,
+		GRR3:               cfg.GRR3,
+		PreEncrypt:         cfg.PreEncrypt == nil || *cfg.PreEncrypt,
+		Seed:               cfg.Seed,
+		MaxInflightWindows: cfg.MaxInflightWindows,
 	}
 	eng, err := core.NewEngine(coreCfg, agents)
 	if err != nil {
@@ -152,30 +160,70 @@ func (m *Market) Ledger() *Ledger { return m.ledger }
 // Metrics exposes transport byte accounting (Table I).
 func (m *Market) Metrics() *transport.Metrics { return m.engine.Metrics() }
 
-// Close releases background resources.
+// Close releases background resources. Closing while windows are in
+// flight drains them first: running windows complete normally, windows
+// scheduled afterwards fail with ErrMarketClosed.
 func (m *Market) Close() { m.engine.Close() }
 
-// RunWindow executes one private trading window (Protocol 1).
+// ErrMarketClosed is returned for windows scheduled after Close.
+var ErrMarketClosed = core.ErrEngineClosed
+
+// WindowError tags a window-execution failure with its window number;
+// window failures returned by RunWindow, RunWindows, RunDay and StreamDay
+// unwrap to it via errors.As. Errors that are not one window's failure —
+// context cancellation before launch, ledger-append failures, a StreamDay
+// sink error — are returned as-is.
+type WindowError = core.WindowError
+
+// RunWindow executes one private trading window (Protocol 1) — the
+// depth-1 special case of the pipelined scheduler behind RunWindows.
 func (m *Market) RunWindow(ctx context.Context, window int, inputs []WindowInput) (*WindowResult, error) {
-	res, err := m.engine.RunWindow(ctx, window, inputs)
+	results, err := m.streamWindows(ctx, []core.WindowJob{{Window: window, Inputs: inputs}}, nil)
 	if err != nil {
 		return nil, err
 	}
-	if m.ledger != nil {
-		records := make([]TradeRecord, len(res.Trades))
-		for i, tr := range res.Trades {
-			records[i] = TradeRecord{
-				Seller:       tr.Seller,
-				Buyer:        tr.Buyer,
-				EnergyKWh:    tr.Energy,
-				PaymentCents: tr.Payment,
+	return results[0], nil
+}
+
+// RunWindows executes one private trading window per element of inputs,
+// numbered by slice index, keeping up to Config.MaxInflightWindows windows
+// in flight concurrently. results[w] is window w's outcome; outcomes and
+// ledger order are identical to running the windows sequentially. On
+// failure the scheduler stops launching new windows, drains the in-flight
+// ones (a failing window cancels only itself) and returns the earliest
+// failed window's error; completed windows keep their slots in results.
+func (m *Market) RunWindows(ctx context.Context, inputs [][]WindowInput) ([]*WindowResult, error) {
+	jobs := make([]core.WindowJob, len(inputs))
+	for w, in := range inputs {
+		jobs[w] = core.WindowJob{Window: w, Inputs: in}
+	}
+	return m.streamWindows(ctx, jobs, nil)
+}
+
+// streamWindows runs jobs through the engine's scheduler, appending every
+// completed window's trades to the ledger in strict window order before
+// handing the result to sink.
+func (m *Market) streamWindows(ctx context.Context, jobs []core.WindowJob, sink func(*WindowResult) error) ([]*WindowResult, error) {
+	return m.engine.StreamWindows(ctx, jobs, func(res *WindowResult) error {
+		if m.ledger != nil {
+			records := make([]TradeRecord, len(res.Trades))
+			for i, tr := range res.Trades {
+				records[i] = TradeRecord{
+					Seller:       tr.Seller,
+					Buyer:        tr.Buyer,
+					EnergyKWh:    tr.Energy,
+					PaymentCents: tr.Payment,
+				}
+			}
+			if _, err := m.ledger.Append(res.Window, res.Price, records); err != nil {
+				return fmt.Errorf("pem: ledger append: %w", err)
 			}
 		}
-		if _, err := m.ledger.Append(window, res.Price, records); err != nil {
-			return nil, fmt.Errorf("pem: ledger append: %w", err)
+		if sink != nil {
+			return sink(res)
 		}
-	}
-	return res, nil
+		return nil
+	})
 }
 
 // Clear computes the plaintext reference outcome for one window — what the

@@ -268,3 +268,110 @@ func TestClearAndBaselineExported(t *testing.T) {
 		t.Error("PEM cost above baseline")
 	}
 }
+
+// TestRunWindowsPipelinedBitIdentical is the acceptance check for the
+// pipelined scheduler: on a seeded 10-agent, 48-window trace, RunWindows
+// with four windows in flight must produce bit-identical per-window
+// results (price, kind, trades) to the strictly sequential path.
+func TestRunWindowsPipelinedBitIdentical(t *testing.T) {
+	// This late-afternoon slice mixes regimes: ~30 general-market and ~18
+	// extreme-market windows, every one running the full protocol stack.
+	tr, err := pem.GenerateTrace(pem.TraceConfig{Homes: 10, Windows: 48, Seed: 424242, StartHour: 16.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]pem.WindowInput, tr.Windows)
+	for w := 0; w < tr.Windows; w++ {
+		if inputs[w], err = tr.WindowInputs(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func(inflight int) []*pem.WindowResult {
+		m, err := pem.NewMarket(pem.Config{
+			KeyBits:            256,
+			Seed:               seedPtr(99),
+			MaxInflightWindows: inflight,
+		}, tr.Agents())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 600*time.Second)
+		defer cancel()
+		results, err := m.RunWindows(ctx, inputs)
+		if err != nil {
+			t.Fatalf("inflight=%d: %v", inflight, err)
+		}
+		if m.Ledger().Len() != tr.Windows+1 {
+			t.Fatalf("inflight=%d: ledger height %d", inflight, m.Ledger().Len())
+		}
+		if err := m.Ledger().Verify(); err != nil {
+			t.Fatalf("inflight=%d: %v", inflight, err)
+		}
+		return results
+	}
+
+	seq := run(1)
+	pipe := run(4)
+	for w := range seq {
+		s, p := seq[w], pipe[w]
+		if s.Kind != p.Kind || s.Price != p.Price || s.PHat != p.PHat || s.Degenerate != p.Degenerate {
+			t.Errorf("window %d: outcome differs: %+v vs %+v", w, s, p)
+		}
+		if len(s.Trades) != len(p.Trades) {
+			t.Fatalf("window %d: trade counts differ", w)
+		}
+		for i := range s.Trades {
+			if s.Trades[i] != p.Trades[i] {
+				t.Errorf("window %d trade %d: %+v vs %+v", w, i, s.Trades[i], p.Trades[i])
+			}
+		}
+	}
+}
+
+// TestStreamDayInOrder checks the streaming day path delivers results in
+// strict window order while pipelining, and that the ledger matches.
+func TestStreamDayInOrder(t *testing.T) {
+	tr, err := pem.GenerateTrace(pem.TraceConfig{Homes: 6, Windows: 8, Seed: 9, StartHour: 16.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pem.NewMarket(pem.Config{
+		KeyBits:            256,
+		Seed:               seedPtr(10),
+		MaxInflightWindows: 4,
+	}, tr.Agents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	var seen []int
+	day, err := m.StreamDay(ctx, tr, func(res *pem.WindowResult) error {
+		seen = append(seen, res.Window)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != tr.Windows {
+		t.Fatalf("sink saw %d windows, want %d", len(seen), tr.Windows)
+	}
+	for w, got := range seen {
+		if got != w {
+			t.Fatalf("out-of-order delivery: position %d got window %d", w, got)
+		}
+	}
+	if len(day.Results) != tr.Windows || day.TotalBytes <= 0 {
+		t.Fatalf("day result malformed: %d windows, %d bytes", len(day.Results), day.TotalBytes)
+	}
+	if m.Ledger().Len() != tr.Windows+1 {
+		t.Fatalf("ledger height %d", m.Ledger().Len())
+	}
+	if err := m.Ledger().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
