@@ -9,16 +9,21 @@
 //	pem-bench -fig 5c           # runtime vs #agents, key sweep
 //	pem-bench -fig 6a|6b|6c|6d  # trading-performance figures
 //	pem-bench -fig pipe         # sequential vs pipelined day comparison
+//	pem-bench -fig par          # sequential vs parallel window comparison
 //	pem-bench -table 1          # average bandwidth by key size
 //	pem-bench -all              # everything
 //
-// By default the cryptographic experiments (5a/5b/5c/pipe/table 1) run at
-// a reduced scale that finishes on a laptop; pass -full for the paper's
+// By default the cryptographic experiments (5a/5b/5c/pipe/par/table 1) run
+// at a reduced scale that finishes on a laptop; pass -full for the paper's
 // scale (hundreds of agents, 720 windows — hours of compute).
 //
 // -inflight N pipelines the crypto experiments with up to N trading
 // windows in flight (default 1, the paper's sequential deployment);
 // outcomes are identical at any depth, only wall-clock changes.
+//
+// -crypto-workers N sizes the intra-window parallel crypto pool (default:
+// all cores) and -agg ring|tree selects the coalition aggregation
+// topology; outcomes are identical under every combination.
 package main
 
 import (
@@ -40,22 +45,24 @@ func main() {
 }
 
 type options struct {
-	fig      string
-	table    int
-	all      bool
-	full     bool
-	homes    int
-	windows  int
-	keyBits  int
-	seed     int64
-	sample   int
-	inflight int
+	fig       string
+	table     int
+	all       bool
+	full      bool
+	homes     int
+	windows   int
+	keyBits   int
+	seed      int64
+	sample    int
+	inflight  int
+	cryptoWrk int
+	agg       string
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("pem-bench", flag.ContinueOnError)
 	var opt options
-	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d, pipe")
+	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d, pipe, par")
 	fs.IntVar(&opt.table, "table", 0, "table to regenerate: 1")
 	fs.BoolVar(&opt.all, "all", false, "regenerate every figure and table")
 	fs.BoolVar(&opt.full, "full", false, "paper scale (slow) instead of laptop scale")
@@ -65,6 +72,8 @@ func run(args []string) error {
 	fs.Int64Var(&opt.seed, "seed", 20200425, "trace and protocol seed")
 	fs.IntVar(&opt.sample, "sample", 60, "print every N-th window in series output")
 	fs.IntVar(&opt.inflight, "inflight", 1, "trading windows to keep in flight concurrently")
+	fs.IntVar(&opt.cryptoWrk, "crypto-workers", 0, "intra-window crypto worker pool size (0 = all cores)")
+	fs.StringVar(&opt.agg, "agg", "", "aggregation topology: ring (default) or tree")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,12 +92,13 @@ func run(args []string) error {
 		"6c":   fig6c,
 		"6d":   fig6d,
 		"pipe": pipeComparison,
+		"par":  parComparison,
 		"t1":   table1,
 	}
 	var targets []string
 	switch {
 	case opt.all:
-		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "t1"}
+		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "t1"}
 	case opt.table == 1:
 		targets = []string{"t1"}
 	case opt.table != 0:
@@ -180,6 +190,8 @@ func runPrivateWindows(o options, homes, windows, keyBits int) (avgPerWindow tim
 		KeyBits:            keyBits,
 		Seed:               &seed,
 		MaxInflightWindows: o.inflight,
+		CryptoWorkers:      o.cryptoWrk,
+		Aggregation:        o.agg,
 	}, tr.Agents())
 	if err != nil {
 		return 0, 0, 0, err
@@ -192,6 +204,11 @@ func runPrivateWindows(o options, homes, windows, keyBits int) (avgPerWindow tim
 	}
 	total = time.Since(start)
 	bytesTotal = m.Metrics().TotalBytes() - startBytes
+	// A degraded pre-encryption pool (workers stuck retrying randomness
+	// failures) silently skews every timing figure — surface it.
+	if st := m.PoolStats(); st.Retries > 0 {
+		fmt.Fprintf(os.Stderr, "pem-bench: warning: pre-encryption pool degraded: %+v\n", st)
+	}
 	return total / time.Duration(windows), total, bytesTotal, nil
 }
 
@@ -227,6 +244,45 @@ func pipeComparison(o options) error {
 		}
 		speedup := float64(baseline) / float64(total)
 		fmt.Printf("%10d %16s %16s %9.2fx\n", depth, total.Round(time.Millisecond), avg.Round(time.Millisecond), speedup)
+	}
+	return nil
+}
+
+// parComparison runs one midday window at a sweep of crypto worker counts
+// and both aggregation topologies, printing the wall-clock speedup of each
+// configuration over the single-worker ring baseline. Outcomes are
+// identical under every configuration; only the scheduling changes.
+func parComparison(o options) error {
+	homes, windows := o.scale(100, 8, 32, 4)
+	keyBits := 512
+	if o.full {
+		keyBits = 2048
+	}
+	if o.keyBits > 0 {
+		keyBits = o.keyBits
+	}
+	workerCounts := []int{1, 2, 4, 8}
+	if o.cryptoWrk > 1 && o.cryptoWrk != 2 && o.cryptoWrk != 4 && o.cryptoWrk != 8 {
+		workerCounts = append(workerCounts, o.cryptoWrk)
+	}
+	header(fmt.Sprintf("Parallel window engine — %d agents, %d windows, %d-bit keys", homes, windows, keyBits))
+	fmt.Printf("%6s %10s %16s %16s %10s\n", "agg", "workers", "total runtime", "avg/window", "speedup")
+	var baseline time.Duration
+	for _, agg := range []string{pem.AggregationRing, pem.AggregationTree} {
+		for _, workers := range workerCounts {
+			op := o
+			op.agg = agg
+			op.cryptoWrk = workers
+			avg, total, _, err := runPrivateWindows(op, homes, windows, keyBits)
+			if err != nil {
+				return fmt.Errorf("agg=%s workers=%d: %w", agg, workers, err)
+			}
+			if agg == pem.AggregationRing && workers == 1 {
+				baseline = total
+			}
+			speedup := float64(baseline) / float64(total)
+			fmt.Printf("%6s %10d %16s %16s %9.2fx\n", agg, workers, total.Round(time.Millisecond), avg.Round(time.Millisecond), speedup)
+		}
 	}
 	return nil
 }

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	mrand "math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -75,6 +76,18 @@ type Config struct {
 	// window-namespaced message tags, so raising this pipelines the day
 	// without any cross-window interference.
 	MaxInflightWindows int
+	// CryptoWorkers sizes the shared worker pool for intra-window parallel
+	// crypto: Hs's batched decryption of the Protocol 4 masked ciphertexts
+	// runs across it (default runtime.NumCPU()). The pool is shared by all
+	// parties and all in-flight windows, capping the process's total crypto
+	// parallelism. Outcomes are bit-identical at any worker count.
+	CryptoWorkers int
+	// Aggregation selects the encrypted-sum topology for the masked ring
+	// aggregations of Protocol 2 and the demand-side total of Protocol 4:
+	// "ring" (default; the paper's O(n) sequential chain) or "tree"
+	// (log-depth binary reduction — each partial sum stays encrypted under
+	// the sink's key, so the leakage profile is unchanged).
+	Aggregation string
 	// Seed, when non-nil, makes the whole engine deterministic: party
 	// randomness is derived from it. Production deployments leave it nil
 	// (crypto/rand).
@@ -100,8 +113,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxInflightWindows == 0 {
 		c.MaxInflightWindows = 1
 	}
+	if c.CryptoWorkers == 0 {
+		c.CryptoWorkers = runtime.NumCPU()
+	}
+	if c.Aggregation == "" {
+		c.Aggregation = AggregationRing
+	}
 	return c
 }
+
+// Aggregation topologies (Config.Aggregation).
+const (
+	AggregationRing = "ring"
+	AggregationTree = "tree"
+)
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -113,6 +138,12 @@ func (c Config) Validate() error {
 	}
 	if c.MaxInflightWindows < 0 {
 		return fmt.Errorf("core: negative MaxInflightWindows %d", c.MaxInflightWindows)
+	}
+	if c.CryptoWorkers < 0 {
+		return fmt.Errorf("core: negative CryptoWorkers %d", c.CryptoWorkers)
+	}
+	if c.Aggregation != AggregationRing && c.Aggregation != AggregationTree {
+		return fmt.Errorf("core: unknown aggregation topology %q", c.Aggregation)
 	}
 	return c.Params.Validate()
 }
@@ -190,13 +221,17 @@ func NewEngine(cfg Config, agents []market.Agent) (*Engine, error) {
 		dir[a.ID] = &keys[i].PublicKey
 	}
 
+	// One crypto worker pool for the whole fleet: intra-window parallel
+	// decryption shares it across parties and in-flight windows, so total
+	// CPU parallelism stays bounded by CryptoWorkers.
+	workers := paillier.NewWorkers(cfg.CryptoWorkers)
 	e.parties = make([]*Party, len(agents))
 	for i, a := range agents {
 		conn, err := e.bus.Register(a.ID)
 		if err != nil {
 			return nil, err
 		}
-		e.parties[i] = newParty(cfg, a, conn, keys[i], dir)
+		e.parties[i] = newParty(cfg, a, conn, keys[i], dir, workers)
 	}
 	return e, nil
 }
@@ -213,6 +248,21 @@ func partyRandom(cfg Config, id, domain string) io.Reader {
 
 // Metrics exposes the transport byte counters (Table I).
 func (e *Engine) Metrics() *transport.Metrics { return e.bus.Metrics() }
+
+// PoolStats aggregates the pre-encryption pool health counters across the
+// fleet, so harnesses can detect a degraded pool (misses piling up,
+// workers stuck retrying randomness failures).
+func (e *Engine) PoolStats() paillier.PoolStats {
+	var agg paillier.PoolStats
+	for _, p := range e.parties {
+		st := p.PoolStats()
+		agg.Ready += st.Ready
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Retries += st.Retries
+	}
+	return agg
+}
 
 // Parties returns the party handles (tests use this for fault injection).
 func (e *Engine) Parties() []*Party { return e.parties }

@@ -38,7 +38,7 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 	var rb uint64
 	switch {
 	case r.ID() == ros.hr1:
-		m, err := r.ringCollect(ctx, ringA, tagA)
+		m, err := r.collect(ctx, ringA, tagA)
 		if err != nil {
 			return 0, err
 		}
@@ -49,7 +49,7 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 		}
 		rb = m.Uint64()
 	case r.role != market.RoleOff:
-		if err := r.ringAggregate(ctx, ringA, ros.hr1, ros.hr1, tagA, contribA); err != nil {
+		if err := r.aggregate(ctx, ringA, ros.hr1, ros.hr1, tagA, contribA); err != nil {
 			return 0, err
 		}
 	}
@@ -66,7 +66,7 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 	var rs uint64
 	switch {
 	case r.ID() == ros.hr2:
-		m, err := r.ringCollect(ctx, ringB, tagB)
+		m, err := r.collect(ctx, ringB, tagB)
 		if err != nil {
 			return 0, err
 		}
@@ -76,7 +76,7 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 		}
 		rs = m.Uint64()
 	case r.role != market.RoleOff:
-		if err := r.ringAggregate(ctx, ringB, ros.hr2, ros.hr2, tagB, contribB); err != nil {
+		if err := r.aggregate(ctx, ringB, ros.hr2, ros.hr2, tagB, contribB); err != nil {
 			return 0, err
 		}
 	}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/pem-go/pem/internal/fixed"
 	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/paillier"
 )
 
 // privatePricing is Protocol 3: in a general market, a hash-chosen buyer Hb
@@ -137,14 +138,11 @@ func (r *windowRun) pricingAsHb(ctx context.Context, tagRing, tagPrice string) (
 	if err != nil {
 		return 0, 0, err
 	}
-	sumKBig, err := r.key.Decrypt(ctK)
+	sums, err := r.key.DecryptBatch(r.workers, []*paillier.Ciphertext{ctK, ctT})
 	if err != nil {
-		return 0, 0, fmt.Errorf("pricing: decrypt Σk: %w", err)
+		return 0, 0, fmt.Errorf("pricing: decrypt aggregates: %w", err)
 	}
-	sumTBig, err := r.key.Decrypt(ctT)
-	if err != nil {
-		return 0, 0, fmt.Errorf("pricing: decrypt Σterm: %w", err)
-	}
+	sumKBig, sumTBig := sums[0], sums[1]
 	sumK, err := fixed.FromBig(sumKBig)
 	if err != nil {
 		return 0, 0, fmt.Errorf("pricing: Σk overflow: %w", err)

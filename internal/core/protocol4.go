@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/pem-go/pem/internal/fixed"
 	"github.com/pem-go/pem/internal/market"
@@ -18,18 +19,20 @@ import (
 //
 // General market mechanics (extreme market swaps the coalitions):
 //
-//  1. the buyers ring-aggregate Enc_pks(|sn_j|) under the chosen seller
-//     Hs's key; the last buyer broadcasts the encrypted total Enc(E_b) to
-//     the whole buyer coalition;
+//  1. the buyers aggregate Enc_pks(|sn_j|) under the chosen seller Hs's key
+//     (ring or tree topology, Config.Aggregation); the aggregation root
+//     broadcasts the encrypted total Enc(E_b) to the whole buyer coalition;
 //  2. every buyer homomorphically computes
 //     Enc(E_b)^round(S/|sn_j|) = Enc(E_b·S/|sn_j|) — the fixed-point
 //     reciprocal trick that sidesteps Paillier's lack of division — and
 //     sends it to Hs;
-//  3. Hs decrypts each masked value, recovers the demand ratio
-//     |sn_j|/E_b = S / (E_b·S/|sn_j|), and broadcasts the ratio vector to
-//     the seller coalition (the designed leakage of Lemma 4);
+//  3. Hs drains the masked values in arrival order, decrypts them
+//     concurrently across the shared crypto worker pool, recovers the
+//     demand ratios |sn_j|/E_b = S / (E_b·S/|sn_j|), and broadcasts the
+//     ratio vector to the seller coalition (the designed leakage of
+//     Lemma 4);
 //  4. every seller i routes e_ij = sn_i · ratio_j to each buyer j, who pays
-//     m_ji = p·e_ij back.
+//     m_ji = p·e_ij back; the pairwise exchanges run concurrently per peer.
 func (r *windowRun) privateDistribution(ctx context.Context, kind market.Kind, price float64) ([]market.Trade, error) {
 	ros := r.ros
 
@@ -55,9 +58,9 @@ func (r *windowRun) privateDistribution(ctx context.Context, kind market.Kind, p
 
 	absSn := r.snFixed.Abs()
 
-	// --- Step 1: demand-side ring aggregation of Enc_hs(|sn|). ---
+	// --- Step 1: demand-side aggregation of Enc_hs(|sn|). ---
 	if onDemandSide {
-		if err := r.distributionRing(ctx, demandSide, hs, tagRing, tagTotal, absSn); err != nil {
+		if err := r.distributionAggregate(ctx, demandSide, hs, tagRing, tagTotal, absSn); err != nil {
 			return nil, err
 		}
 	}
@@ -91,9 +94,48 @@ func (r *windowRun) privateDistribution(ctx context.Context, kind market.Kind, p
 	return r.routeAndPay(ctx, kind, price, demandSide, supplySide, ratios)
 }
 
-// distributionRing folds Enc_hs(|sn|) along the demand side; the last
-// member broadcasts the encrypted total to the whole demand side.
-func (r *windowRun) distributionRing(ctx context.Context, demandSide []string, hs, tagRing, tagTotal string, absSn fixed.Value) error {
+// distributionAggregate folds Enc_hs(|sn|) across the demand side using the
+// configured topology; the aggregation root broadcasts the encrypted total
+// to the whole demand side (Protocol 4 line 5) and keeps its own copy in
+// r.encTotal for sendMaskedReciprocal.
+func (r *windowRun) distributionAggregate(ctx context.Context, demandSide []string, hs, tagRing, tagTotal string, absSn fixed.Value) error {
+	var (
+		acc    *paillier.Ciphertext
+		isRoot bool
+		err    error
+	)
+	if r.cfg.Aggregation == AggregationTree {
+		acc, isRoot, err = r.foldTree(ctx, demandSide, hs, tagRing, absSn.Big())
+		if err != nil {
+			return fmt.Errorf("distribution: %w", err)
+		}
+	} else {
+		acc, isRoot, err = r.distributionRingFold(ctx, demandSide, hs, tagRing, absSn)
+		if err != nil {
+			return err
+		}
+	}
+	if !isRoot {
+		return nil
+	}
+
+	// Root: broadcast the encrypted total within the demand side; its own
+	// copy is handed to sendMaskedReciprocal through the window state.
+	out, err := acc.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := r.broadcast(ctx, demandSide, tagTotal, out); err != nil {
+		return err
+	}
+	r.encTotal = acc
+	return nil
+}
+
+// distributionRingFold is the paper's sequential chain: each member folds
+// its encrypted share and forwards; the last member ends up holding the
+// total (isRoot = true) instead of sending it to an external sink.
+func (r *windowRun) distributionRingFold(ctx context.Context, demandSide []string, hs, tagRing string, absSn fixed.Value) (*paillier.Ciphertext, bool, error) {
 	pos := -1
 	for i, id := range demandSide {
 		if id == r.ID() {
@@ -102,54 +144,36 @@ func (r *windowRun) distributionRing(ctx context.Context, demandSide []string, h
 		}
 	}
 	if pos == -1 {
-		return fmt.Errorf("distribution: %s not on demand side", r.ID())
+		return nil, false, fmt.Errorf("distribution: %s not on demand side", r.ID())
 	}
 
 	enc, err := r.encryptUnder(ctx, hs, absSn.Big())
 	if err != nil {
-		return fmt.Errorf("distribution: encrypt share: %w", err)
+		return nil, false, fmt.Errorf("distribution: encrypt share: %w", err)
 	}
 	acc := enc
 	if pos > 0 {
 		raw, err := r.conn.Recv(ctx, demandSide[pos-1], tagRing)
 		if err != nil {
-			return fmt.Errorf("distribution ring recv: %w", err)
+			return nil, false, fmt.Errorf("distribution ring recv: %w", err)
 		}
 		var in paillier.Ciphertext
 		if err := in.UnmarshalBinary(raw); err != nil {
-			return fmt.Errorf("distribution ring decode: %w", err)
+			return nil, false, fmt.Errorf("distribution ring decode: %w", err)
 		}
 		if acc, err = r.dir[hs].Add(&in, enc); err != nil {
-			return err
+			return nil, false, err
 		}
 	}
 
 	if pos+1 < len(demandSide) {
 		out, err := acc.MarshalBinary()
 		if err != nil {
-			return err
+			return nil, false, err
 		}
-		return r.conn.Send(ctx, demandSide[pos+1], tagRing, out)
+		return nil, false, r.conn.Send(ctx, demandSide[pos+1], tagRing, out)
 	}
-
-	// Last member: broadcast the encrypted total within the demand side
-	// (Protocol 4 line 5).
-	out, err := acc.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	for _, id := range demandSide {
-		if id == r.ID() {
-			continue
-		}
-		if err := r.conn.Send(ctx, id, tagTotal, out); err != nil {
-			return err
-		}
-	}
-	// The broadcaster uses its own copy directly: stash via loopback send
-	// is unnecessary — hand it to sendMaskedReciprocal through the state.
-	r.encTotal = acc
-	return nil
+	return acc, true, nil
 }
 
 // sendMaskedReciprocal computes Enc(total)^round(S/|sn|) and ships it to Hs
@@ -157,9 +181,9 @@ func (r *windowRun) distributionRing(ctx context.Context, demandSide []string, h
 func (r *windowRun) sendMaskedReciprocal(ctx context.Context, hs, tagTotal, tagMasked string, absSn fixed.Value) error {
 	total := r.encTotal
 	if total == nil {
-		// The broadcaster is the last demand-side member.
-		last := r.demandSide[len(r.demandSide)-1]
-		raw, err := r.conn.Recv(ctx, last, tagTotal)
+		// Everyone but the aggregation root receives the broadcast total.
+		root := r.aggregationRoot(r.demandSide)
+		raw, err := r.conn.Recv(ctx, root, tagTotal)
 		if err != nil {
 			return fmt.Errorf("distribution: recv total: %w", err)
 		}
@@ -185,48 +209,78 @@ func (r *windowRun) sendMaskedReciprocal(ctx context.Context, hs, tagTotal, tagM
 	return r.conn.Send(ctx, hs, tagMasked, payload)
 }
 
-// collectRatios is Hs's side: decrypt each demand-side member's masked
-// value, recover its allocation ratio and broadcast the vector to the
-// supply side.
+// collectRatios is Hs's side: drain each demand-side member's masked value
+// in arrival order, decrypt the ciphertexts concurrently across the shared
+// crypto worker pool, recover the allocation ratios and broadcast the
+// vector to the supply side. Decryption of already-arrived ciphertexts
+// overlaps the wait for stragglers, so a slow sender no longer serializes
+// the whole collection.
 func (r *windowRun) collectRatios(ctx context.Context, demandSide, supplySide []string, tagMasked, tagRatios string) (map[string]float64, error) {
-	ratios := make(map[string]float64, len(demandSide))
-	for _, id := range demandSide {
-		raw, err := r.conn.Recv(ctx, id, tagMasked)
+	n := len(demandSide)
+	ids := make([]string, n)
+	vals := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		from, raw, err := r.conn.RecvAny(ctx, tagMasked, demandSide)
 		if err != nil {
-			return nil, fmt.Errorf("distribution: recv masked from %s: %w", id, err)
+			wg.Wait()
+			return nil, fmt.Errorf("distribution: recv masked: %w", err)
 		}
-		var ct paillier.Ciphertext
-		if err := ct.UnmarshalBinary(raw); err != nil {
-			return nil, fmt.Errorf("distribution: decode masked from %s: %w", id, err)
-		}
-		m, err := r.key.Decrypt(&ct)
+		i, from, raw := i, from, raw
+		ids[i] = from
+		r.workers.Go(&wg, func() {
+			var ct paillier.Ciphertext
+			if err := ct.UnmarshalBinary(raw); err != nil {
+				errs[i] = fmt.Errorf("distribution: decode masked from %s: %w", from, err)
+				return
+			}
+			m, err := r.key.Decrypt(&ct)
+			if err != nil {
+				errs[i] = fmt.Errorf("distribution: decrypt masked from %s: %w", from, err)
+				return
+			}
+			ratio, err := fixed.RatioFromMasked(m)
+			if err != nil {
+				errs[i] = fmt.Errorf("distribution: ratio from %s: %w", from, err)
+				return
+			}
+			if err := checkRatio(ratio); err != nil {
+				errs[i] = fmt.Errorf("distribution: ratio from %s: %w", from, err)
+				return
+			}
+			vals[i] = ratio
+		})
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("distribution: decrypt masked from %s: %w", id, err)
+			return nil, err
 		}
-		ratio, err := fixed.RatioFromMasked(m)
-		if err != nil {
-			return nil, fmt.Errorf("distribution: ratio from %s: %w", id, err)
-		}
-		ratios[id] = ratio
+	}
+
+	ratios := make(map[string]float64, n)
+	for i, id := range ids {
+		ratios[id] = vals[i]
+	}
+	if len(ratios) != n {
+		return nil, fmt.Errorf("distribution: duplicate masked sender")
 	}
 
 	payload, err := encodeRatios(ratios)
 	if err != nil {
 		return nil, err
 	}
-	for _, id := range supplySide {
-		if id == r.ID() {
-			continue
-		}
-		if err := r.conn.Send(ctx, id, tagRatios, payload); err != nil {
-			return nil, err
-		}
+	if err := r.broadcast(ctx, supplySide, tagRatios, payload); err != nil {
+		return nil, err
 	}
 	return ratios, nil
 }
 
 // routeAndPay is step 4: every supply-side member initiates one exchange
-// with every demand-side member.
+// with every demand-side member; the per-peer exchanges are independent
+// request/reply pairs on distinct (peer, tag) queues, so they run
+// concurrently.
 //
 // General market: the initiator is a seller; it routes e_ij =
 // sn_i·(|sn_j|/E_b) to buyer j, who replies with the payment m_ji = p·e_ij
@@ -239,89 +293,142 @@ func (r *windowRun) routeAndPay(ctx context.Context, kind market.Kind, price flo
 	tagEnergy := r.tag("pd/energy")
 	tagReply := r.tag("pd/reply")
 
-	onSupplySide := contains(supplySide, r.ID())
-	onDemandSide := contains(demandSide, r.ID())
-
-	var trades []market.Trade
 	switch {
-	case onSupplySide:
+	case contains(supplySide, r.ID()):
 		myShare := r.snFixed.Abs().Float()
 		ids := append([]string(nil), demandSide...)
 		sort.Strings(ids)
-		for _, id := range ids {
-			ratio, ok := ratios[id]
-			if !ok {
-				return nil, fmt.Errorf("distribution: missing ratio for %s", id)
-			}
-			e := myShare * ratio
-			ev, err := fixed.FromFloat(e)
+		trades := make([]market.Trade, len(ids))
+		errs := make([]error, len(ids))
+		var wg sync.WaitGroup
+		for i, id := range ids {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				ratio, ok := ratios[id]
+				if !ok {
+					errs[i] = fmt.Errorf("distribution: missing ratio for %s", id)
+					return
+				}
+				trades[i], errs[i] = r.exchangeAsSupplier(ctx, kind, price, id, myShare, ratio, tagEnergy, tagReply)
+			}(i, id)
+		}
+		wg.Wait()
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
-			}
-			var msg [8]byte
-			binary.BigEndian.PutUint64(msg[:], uint64(int64(ev)))
-			if err := r.conn.Send(ctx, id, tagEnergy, msg[:]); err != nil {
-				return nil, err
-			}
-			raw, err := r.conn.Recv(ctx, id, tagReply)
-			if err != nil {
-				return nil, fmt.Errorf("distribution: reply from %s: %w", id, err)
-			}
-			if len(raw) != 8 {
-				return nil, fmt.Errorf("distribution: bad reply from %s", id)
-			}
-			reply := fixed.Value(int64(binary.BigEndian.Uint64(raw))).Float()
-
-			e = ev.Float() // what was actually put on the wire
-			if kind == market.GeneralMarket {
-				// Seller initiated; the reply is the buyer's payment.
-				if diff := reply - e*price; diff > paymentTolerance || diff < -paymentTolerance {
-					return nil, fmt.Errorf("distribution: %s paid %.6f for %.6f kWh at %.4f", id, reply, e, price)
-				}
-				trades = append(trades, market.Trade{Seller: r.ID(), Buyer: id, Energy: e, Payment: reply})
-			} else {
-				// Buyer initiated; the reply confirms the routed energy.
-				if diff := reply - e; diff > paymentTolerance || diff < -paymentTolerance {
-					return nil, fmt.Errorf("distribution: %s confirmed %.6f of %.6f kWh", id, reply, e)
-				}
-				trades = append(trades, market.Trade{Seller: id, Buyer: r.ID(), Energy: e, Payment: e * price})
 			}
 		}
-	case onDemandSide:
-		for _, id := range supplySide {
-			raw, err := r.conn.Recv(ctx, id, tagEnergy)
+		return trades, nil
+
+	case contains(demandSide, r.ID()):
+		errs := make([]error, len(supplySide))
+		var wg sync.WaitGroup
+		for i, id := range supplySide {
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				errs[i] = r.exchangeAsDemander(ctx, kind, price, id, tagEnergy, tagReply)
+			}(i, id)
+		}
+		wg.Wait()
+		for _, err := range errs {
 			if err != nil {
-				return nil, fmt.Errorf("distribution: energy from %s: %w", id, err)
-			}
-			if len(raw) != 8 {
-				return nil, fmt.Errorf("distribution: bad energy from %s", id)
-			}
-			e := fixed.Value(int64(binary.BigEndian.Uint64(raw))).Float()
-			if e < 0 {
-				return nil, fmt.Errorf("distribution: negative energy from %s", id)
-			}
-			var replyVal float64
-			if kind == market.GeneralMarket {
-				replyVal = e * price // buyer pays
-			} else {
-				replyVal = e // seller confirms routing
-			}
-			rv, err := fixed.FromFloat(replyVal)
-			if err != nil {
-				return nil, err
-			}
-			var msg [8]byte
-			binary.BigEndian.PutUint64(msg[:], uint64(int64(rv)))
-			if err := r.conn.Send(ctx, id, tagReply, msg[:]); err != nil {
 				return nil, err
 			}
 		}
 	}
-	return trades, nil
+	return nil, nil
+}
+
+// exchangeAsSupplier runs one supply-side pairwise exchange: route the
+// energy share to peer, await and validate its reply.
+func (r *windowRun) exchangeAsSupplier(ctx context.Context, kind market.Kind, price float64, peer string, myShare, ratio float64, tagEnergy, tagReply string) (market.Trade, error) {
+	ev, err := fixed.FromFloat(myShare * ratio)
+	if err != nil {
+		return market.Trade{}, err
+	}
+	var msg [8]byte
+	binary.BigEndian.PutUint64(msg[:], uint64(int64(ev)))
+	if err := r.conn.Send(ctx, peer, tagEnergy, msg[:]); err != nil {
+		return market.Trade{}, err
+	}
+	raw, err := r.conn.Recv(ctx, peer, tagReply)
+	if err != nil {
+		return market.Trade{}, fmt.Errorf("distribution: reply from %s: %w", peer, err)
+	}
+	if len(raw) != 8 {
+		return market.Trade{}, fmt.Errorf("distribution: bad reply from %s", peer)
+	}
+	reply := fixed.Value(int64(binary.BigEndian.Uint64(raw))).Float()
+
+	e := ev.Float() // what was actually put on the wire
+	if kind == market.GeneralMarket {
+		// Seller initiated; the reply is the buyer's payment.
+		if diff := reply - e*price; diff > paymentTolerance || diff < -paymentTolerance {
+			return market.Trade{}, fmt.Errorf("distribution: %s paid %.6f for %.6f kWh at %.4f", peer, reply, e, price)
+		}
+		return market.Trade{Seller: r.ID(), Buyer: peer, Energy: e, Payment: reply}, nil
+	}
+	// Buyer initiated; the reply confirms the routed energy.
+	if diff := reply - e; diff > paymentTolerance || diff < -paymentTolerance {
+		return market.Trade{}, fmt.Errorf("distribution: %s confirmed %.6f of %.6f kWh", peer, reply, e)
+	}
+	return market.Trade{Seller: peer, Buyer: r.ID(), Energy: e, Payment: e * price}, nil
+}
+
+// exchangeAsDemander runs one demand-side pairwise exchange: await the
+// routed energy from peer and answer with the payment (general market) or
+// the routing confirmation (extreme market).
+func (r *windowRun) exchangeAsDemander(ctx context.Context, kind market.Kind, price float64, peer, tagEnergy, tagReply string) error {
+	raw, err := r.conn.Recv(ctx, peer, tagEnergy)
+	if err != nil {
+		return fmt.Errorf("distribution: energy from %s: %w", peer, err)
+	}
+	if len(raw) != 8 {
+		return fmt.Errorf("distribution: bad energy from %s", peer)
+	}
+	e := fixed.Value(int64(binary.BigEndian.Uint64(raw))).Float()
+	if e < 0 {
+		return fmt.Errorf("distribution: negative energy from %s", peer)
+	}
+	var replyVal float64
+	if kind == market.GeneralMarket {
+		replyVal = e * price // buyer pays
+	} else {
+		replyVal = e // seller confirms routing
+	}
+	rv, err := fixed.FromFloat(replyVal)
+	if err != nil {
+		return err
+	}
+	var msg [8]byte
+	binary.BigEndian.PutUint64(msg[:], uint64(int64(rv)))
+	return r.conn.Send(ctx, peer, tagReply, msg[:])
 }
 
 // paymentTolerance absorbs fixed-point rounding in the pay/confirm checks.
 const paymentTolerance = 1e-4
+
+// ratioSlack bounds how far above 1 a decoded allocation ratio may land.
+// Ratios are |sn_j|/E_b ∈ (0, 1] exactly, but the reciprocal trick rounds
+// round(S/|sn_j|) to an integer, which can push the recovered ratio above 1
+// by up to |sn_j|/(2S) ≈ 2.5e-4 at the largest representable shares.
+const ratioSlack = 1e-3
+
+// checkRatio rejects allocation ratios that cannot come from an honest
+// Protocol 4 run: NaN, ±Inf, negative, or above 1 beyond rounding slack.
+// Values outside this range would flow straight into routeAndPay trade
+// amounts.
+func checkRatio(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("non-finite allocation ratio")
+	}
+	if v < 0 || v > 1+ratioSlack {
+		return fmt.Errorf("allocation ratio %g outside [0, 1]", v)
+	}
+	return nil
+}
 
 // encodeRatios serializes a ratio vector as count | (idLen|id|f64)*.
 func encodeRatios(ratios map[string]float64) ([]byte, error) {
@@ -349,13 +456,23 @@ func encodeRatios(ratios map[string]float64) ([]byte, error) {
 	return buf, nil
 }
 
-// decodeRatios reverses encodeRatios.
+// ratioEntryMin is the smallest possible wire size of one ratio entry: a
+// 2-byte id length (empty id) plus the 8-byte float.
+const ratioEntryMin = 2 + 8
+
+// decodeRatios reverses encodeRatios. The entry count is bounded by the
+// remaining payload before any allocation — a corrupt header cannot demand
+// a multi-GB map — and every ratio must pass checkRatio before it can
+// reach routeAndPay.
 func decodeRatios(raw []byte) (map[string]float64, error) {
 	if len(raw) < 4 {
 		return nil, fmt.Errorf("distribution: truncated ratios")
 	}
 	n := int(binary.BigEndian.Uint32(raw))
 	raw = raw[4:]
+	if n > len(raw)/ratioEntryMin {
+		return nil, fmt.Errorf("distribution: ratio count %d exceeds payload", n)
+	}
 	out := make(map[string]float64, n)
 	for i := 0; i < n; i++ {
 		if len(raw) < 2 {
@@ -368,8 +485,15 @@ func decodeRatios(raw []byte) (map[string]float64, error) {
 		}
 		id := string(raw[:idLen])
 		raw = raw[idLen:]
-		out[id] = math.Float64frombits(binary.BigEndian.Uint64(raw))
+		v := math.Float64frombits(binary.BigEndian.Uint64(raw))
 		raw = raw[8:]
+		if err := checkRatio(v); err != nil {
+			return nil, fmt.Errorf("distribution: %s: %w", id, err)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("distribution: duplicate ratio for %s", id)
+		}
+		out[id] = v
 	}
 	if len(raw) != 0 {
 		return nil, fmt.Errorf("distribution: trailing ratio bytes")

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"github.com/pem-go/pem/internal/paillier"
 )
@@ -37,7 +38,7 @@ func (r *windowRun) encryptUnder(ctx context.Context, holder string, m *big.Int)
 // identical arguments. contribution is this party's plaintext (already
 // fixed-point encoded); keyHolder identifies whose public key encrypts the
 // chain; tag scopes the messages. Members not in order (and the sink)
-// receive the result via ringCollect instead.
+// receive the result via collect instead.
 func (r *windowRun) ringAggregate(ctx context.Context, order []string, keyHolder, sink, tag string, contribution *big.Int) error {
 	pos := -1
 	for i, id := range order {
@@ -86,25 +87,117 @@ func (r *windowRun) ringAggregate(ctx context.Context, order []string, keyHolder
 	return nil
 }
 
-// ringCollect is the sink side of ringAggregate: receive the final
-// ciphertext from the last ring member and decrypt it.
-func (r *windowRun) ringCollect(ctx context.Context, order []string, tag string) (*big.Int, error) {
-	if len(order) == 0 {
-		return nil, fmt.Errorf("ring %s: empty ring", tag)
+// aggregate folds the ring members' encrypted contributions into a single
+// ciphertext delivered to sink, using the configured topology: the paper's
+// sequential ring (O(n) message latency) or a log-depth binary reduction
+// tree. Every member must call it with identical arguments; the sink calls
+// collect instead. Both topologies expose exactly the same information —
+// every intermediate value is a partial sum encrypted under the sink's key.
+func (r *windowRun) aggregate(ctx context.Context, order []string, keyHolder, sink, tag string, contribution *big.Int) error {
+	if r.cfg.Aggregation == AggregationTree {
+		acc, isRoot, err := r.foldTree(ctx, order, keyHolder, tag, contribution)
+		if err != nil {
+			return err
+		}
+		if !isRoot {
+			return nil
+		}
+		out, err := acc.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if err := r.conn.Send(ctx, sink, tag, out); err != nil {
+			return fmt.Errorf("tree %s: send: %w", tag, err)
+		}
+		return nil
 	}
-	raw, err := r.conn.Recv(ctx, order[len(order)-1], tag)
+	return r.ringAggregate(ctx, order, keyHolder, sink, tag, contribution)
+}
+
+// collect is the sink side of aggregate: receive the final ciphertext from
+// the topology's root member and decrypt it.
+func (r *windowRun) collect(ctx context.Context, order []string, tag string) (*big.Int, error) {
+	if len(order) == 0 {
+		return nil, fmt.Errorf("agg %s: empty member set", tag)
+	}
+	raw, err := r.conn.Recv(ctx, r.aggregationRoot(order), tag)
 	if err != nil {
-		return nil, fmt.Errorf("ring %s: recv final: %w", tag, err)
+		return nil, fmt.Errorf("agg %s: recv final: %w", tag, err)
 	}
 	var ct paillier.Ciphertext
 	if err := ct.UnmarshalBinary(raw); err != nil {
-		return nil, fmt.Errorf("ring %s: decode final: %w", tag, err)
+		return nil, fmt.Errorf("agg %s: decode final: %w", tag, err)
 	}
 	m, err := r.key.Decrypt(&ct)
 	if err != nil {
-		return nil, fmt.Errorf("ring %s: decrypt: %w", tag, err)
+		return nil, fmt.Errorf("agg %s: decrypt: %w", tag, err)
 	}
 	return m, nil
+}
+
+// aggregationRoot returns the member holding the final aggregate: the last
+// member of a ring chain, the first leaf of a reduction tree.
+func (r *windowRun) aggregationRoot(order []string) string {
+	if r.cfg.Aggregation == AggregationTree {
+		return order[0]
+	}
+	return order[len(order)-1]
+}
+
+// foldTree is one member's side of the binary reduction tree: at stride s
+// the members still active are the multiples of s; those at odd multiples
+// send their partial to the even-multiple neighbour s positions below and
+// drop out, the rest fold the received partial and continue. After
+// ceil(log2 n) rounds member 0 holds the total and reports isRoot = true
+// (with the accumulated ciphertext); everyone else has already forwarded.
+func (r *windowRun) foldTree(ctx context.Context, order []string, keyHolder, tag string, contribution *big.Int) (*paillier.Ciphertext, bool, error) {
+	pos := -1
+	for i, id := range order {
+		if id == r.ID() {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		return nil, false, fmt.Errorf("party %s not in tree %s", r.ID(), tag)
+	}
+	n := len(order)
+
+	acc, err := r.encryptUnder(ctx, keyHolder, contribution)
+	if err != nil {
+		return nil, false, fmt.Errorf("tree %s: encrypt: %w", tag, err)
+	}
+	pk := r.dir[keyHolder]
+	for stride := 1; stride < n; stride *= 2 {
+		if pos%(2*stride) == stride {
+			// Odd multiple of stride: forward the partial downhill, done.
+			out, err := acc.MarshalBinary()
+			if err != nil {
+				return nil, false, err
+			}
+			if err := r.conn.Send(ctx, order[pos-stride], tag, out); err != nil {
+				return nil, false, fmt.Errorf("tree %s: send: %w", tag, err)
+			}
+			return nil, false, nil
+		}
+		// Even multiple: fold the uphill neighbour's partial, if it exists.
+		partner := pos + stride
+		if partner >= n {
+			continue
+		}
+		raw, err := r.conn.Recv(ctx, order[partner], tag)
+		if err != nil {
+			return nil, false, fmt.Errorf("tree %s: recv: %w", tag, err)
+		}
+		var incoming paillier.Ciphertext
+		if err := incoming.UnmarshalBinary(raw); err != nil {
+			return nil, false, fmt.Errorf("tree %s: decode: %w", tag, err)
+		}
+		if acc, err = pk.Add(acc, &incoming); err != nil {
+			return nil, false, fmt.Errorf("tree %s: fold: %w", tag, err)
+		}
+	}
+	return acc, true, nil
 }
 
 // without returns order with the given id removed (order is not mutated).
@@ -118,13 +211,31 @@ func without(order []string, id string) []string {
 	return out
 }
 
-// broadcast sends payload to every listed party except self.
+// broadcast fans payload out to every listed party except self. Sends to
+// distinct peers are independent, so they run concurrently — with the TCP
+// transport's per-connection write locks no single slow peer delays the
+// others. The first failure (by roster order) is returned after all sends
+// settle.
 func (r *windowRun) broadcast(ctx context.Context, to []string, tag string, payload []byte) error {
-	for _, id := range to {
-		if id == r.ID() {
-			continue
-		}
-		if err := r.conn.Send(ctx, id, tag, payload); err != nil {
+	peers := without(to, r.ID())
+	switch len(peers) {
+	case 0:
+		return nil
+	case 1:
+		return r.conn.Send(ctx, peers[0], tag, payload)
+	}
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, id := range peers {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			errs[i] = r.conn.Send(ctx, id, tag, payload)
+		}(i, id)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

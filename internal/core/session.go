@@ -32,19 +32,25 @@ type Party struct {
 	key  *paillier.PrivateKey
 	dir  map[string]*paillier.PublicKey // all parties' Paillier keys
 
+	// workers is the shared batch-crypto pool (see Config.CryptoWorkers).
+	// Engine parties share one pool fleet-wide; standalone parties own
+	// theirs.
+	workers *paillier.Workers
+
 	poolMu sync.Mutex
 	pools  map[string]*paillier.NoncePool // peer -> blinding-factor pool
 }
 
 // newParty assembles a session from provisioned key material.
-func newParty(cfg Config, agent market.Agent, conn transport.Conn, key *paillier.PrivateKey, dir map[string]*paillier.PublicKey) *Party {
+func newParty(cfg Config, agent market.Agent, conn transport.Conn, key *paillier.PrivateKey, dir map[string]*paillier.PublicKey, workers *paillier.Workers) *Party {
 	return &Party{
-		agent: agent,
-		cfg:   cfg,
-		conn:  conn,
-		key:   key,
-		dir:   dir,
-		pools: make(map[string]*paillier.NoncePool),
+		agent:   agent,
+		cfg:     cfg,
+		conn:    conn,
+		key:     key,
+		dir:     dir,
+		workers: workers,
+		pools:   make(map[string]*paillier.NoncePool),
 	}
 }
 
@@ -81,6 +87,24 @@ func (p *Party) poolFor(holder string, pk *paillier.PublicKey) *paillier.NoncePo
 	})
 	p.pools[holder] = pool
 	return pool
+}
+
+// PoolStats aggregates the health counters of this party's pre-encryption
+// pools. A growing Misses count signals the critical path is paying full
+// encryptions inline; Retries counts transient randomness failures the
+// refill workers recovered from.
+func (p *Party) PoolStats() paillier.PoolStats {
+	p.poolMu.Lock()
+	defer p.poolMu.Unlock()
+	var agg paillier.PoolStats
+	for _, pool := range p.pools {
+		st := pool.Stats()
+		agg.Ready += st.Ready
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Retries += st.Retries
+	}
+	return agg
 }
 
 // closePools stops the pre-encryption workers. Called by the engine once no

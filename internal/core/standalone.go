@@ -40,7 +40,7 @@ func NewStandaloneParty(cfg Config, agent market.Agent, conn transport.Conn) (*P
 		return nil, fmt.Errorf("core: keygen: %w", err)
 	}
 	dir := map[string]*paillier.PublicKey{agent.ID: &key.PublicKey}
-	return newParty(cfg, agent, conn, key, dir), nil
+	return newParty(cfg, agent, conn, key, dir, paillier.NewWorkers(cfg.CryptoWorkers)), nil
 }
 
 // ExchangeKeys broadcasts this party's Paillier public key to every peer

@@ -198,13 +198,8 @@ func (r *windowRun) announceRoles(ctx context.Context) error {
 	}
 	sort.Strings(all)
 
-	for _, id := range all {
-		if id == r.ID() {
-			continue
-		}
-		if err := r.conn.Send(ctx, id, tag, msg); err != nil {
-			return err
-		}
+	if err := r.broadcast(ctx, all, tag, msg); err != nil {
+		return err
 	}
 	var sellers, buyers []string
 	record := func(id string, role market.Role) {

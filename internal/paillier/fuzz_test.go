@@ -1,0 +1,138 @@
+package paillier
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// TestSignedEncodingBoundaries pins the edges of the signed embedding:
+// values with |v| < n/2 round-trip, |v| = n/2 (and beyond) must be
+// rejected — the strict inequality is what makes the encoding injective.
+func TestSignedEncodingBoundaries(t *testing.T) {
+	key := testKey(t)
+	pk := &key.PublicKey
+	half := pk.MaxSigned() // floor(n/2); n is odd, so |v| <= half-1 is legal
+
+	maxPos := new(big.Int).Sub(half, big.NewInt(1))
+	maxNeg := new(big.Int).Neg(maxPos)
+	for _, v := range []*big.Int{maxPos, maxNeg, big.NewInt(0), big.NewInt(1), big.NewInt(-1)} {
+		m, err := pk.EncodeSigned(v)
+		if err != nil {
+			t.Fatalf("EncodeSigned(%v): %v", v, err)
+		}
+		if back := pk.DecodeSigned(m); back.Cmp(v) != 0 {
+			t.Fatalf("round trip %v -> %v", v, back)
+		}
+		// The boundary values must also survive actual encryption.
+		ct, err := pk.Encrypt(testRand(11), v)
+		if err != nil {
+			t.Fatalf("Encrypt(%v): %v", v, err)
+		}
+		got, err := key.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(v) != 0 {
+			t.Fatalf("decrypt(%v) = %v", v, got)
+		}
+	}
+
+	for _, v := range []*big.Int{
+		half,
+		new(big.Int).Neg(half),
+		new(big.Int).Add(half, big.NewInt(1)),
+		pk.N,
+	} {
+		if _, err := pk.EncodeSigned(v); !errors.Is(err, ErrMessageTooLarge) {
+			t.Fatalf("EncodeSigned(%v): err = %v, want ErrMessageTooLarge", v, err)
+		}
+	}
+}
+
+// FuzzCiphertextUnmarshal checks the ciphertext wire decoder never panics
+// and that every accepted encoding re-marshals to the same bytes.
+func FuzzCiphertextUnmarshal(f *testing.F) {
+	key, err := GenerateKey(testRand(12), 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ct, err := key.EncryptInt64(testRand(13), 42)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := ct.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var c Ciphertext
+		if err := c.UnmarshalBinary(raw); err != nil {
+			return
+		}
+		out, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal accepted ciphertext: %v", err)
+		}
+		var back Ciphertext
+		if err := back.UnmarshalBinary(out); err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if back.C.Cmp(c.C) != 0 {
+			t.Fatalf("round trip changed value: %v vs %v", back.C, c.C)
+		}
+	})
+}
+
+// FuzzCiphertextRoundTrip drives the encrypt -> marshal -> unmarshal ->
+// decrypt path with arbitrary plaintext bytes.
+func FuzzCiphertextRoundTrip(f *testing.F) {
+	key, err := GenerateKey(testRand(14), 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{1}, false)
+	f.Add([]byte{0xff, 0xff, 0xff}, true)
+	f.Add([]byte{}, false)
+	f.Fuzz(func(t *testing.T, mag []byte, neg bool) {
+		m := new(big.Int).SetBytes(mag)
+		if neg {
+			m.Neg(m)
+		}
+		ct, err := key.Encrypt(testRand(15), m)
+		if err != nil {
+			// Out of the signed embedding range: must be the sentinel.
+			if !errors.Is(err, ErrMessageTooLarge) {
+				t.Fatalf("Encrypt(%v): %v", m, err)
+			}
+			return
+		}
+		wire, err := ct.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Ciphertext
+		if err := back.UnmarshalBinary(wire); err != nil {
+			t.Fatalf("unmarshal own encoding: %v", err)
+		}
+		wire2, err := back.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatal("marshal not canonical")
+		}
+		got, err := key.Decrypt(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(m) != 0 {
+			t.Fatalf("decrypt = %v, want %v", got, m)
+		}
+	})
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math/big"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // NoncePool pre-computes Paillier blinding factors r^n mod n² in background
@@ -29,6 +31,27 @@ type NoncePool struct {
 	stop   chan struct{}
 	done   chan struct{}
 	target int
+
+	// Health counters (see Stats).
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	retries atomic.Uint64
+}
+
+// PoolStats is a snapshot of a pool's health counters. A growing Misses
+// count with Ready stuck at zero means encryptions are paying the full
+// exponentiation inline — the degradation the paper's idle-time
+// pre-computation is meant to avoid; Retries counts transient randomness
+// read failures the workers recovered from.
+type PoolStats struct {
+	// Ready is the number of precomputed factors currently available.
+	Ready int
+	// Hits counts Take calls served from the precomputed stock.
+	Hits uint64
+	// Misses counts Take calls that fell back to inline computation.
+	Misses uint64
+	// Retries counts worker randomness-read failures that were retried.
+	Retries uint64
 }
 
 // PoolConfig configures a NoncePool.
@@ -85,6 +108,7 @@ func (p *NoncePool) kick() {
 }
 
 func (p *NoncePool) worker() {
+	var delay time.Duration // current retry backoff; reset on success
 	for {
 		select {
 		case <-p.stop:
@@ -105,14 +129,46 @@ func (p *NoncePool) worker() {
 			}
 			f, err := p.pk.BlindingFactor(p.lockedRandom())
 			if err != nil {
-				// Randomness failure is unrecoverable for this worker;
-				// Take falls back to inline computation.
-				return
+				// Transient randomness failure: back off and retry rather
+				// than silently degrading the pool to inline computation
+				// for the rest of the session.
+				p.retries.Add(1)
+				if !p.backoff(&delay) {
+					return
+				}
+				continue
 			}
+			delay = 0
 			p.mu.Lock()
 			p.factors = append(p.factors, f)
 			p.mu.Unlock()
 		}
+	}
+}
+
+// Backoff bounds for worker randomness-read retries.
+const (
+	backoffMin = time.Millisecond
+	backoffMax = time.Second
+)
+
+// backoff sleeps for the current retry delay (doubling it up to backoffMax
+// for the next failure) and reports false if the pool was stopped while
+// waiting.
+func (p *NoncePool) backoff(delay *time.Duration) bool {
+	if *delay == 0 {
+		*delay = backoffMin
+	}
+	t := time.NewTimer(*delay)
+	defer t.Stop()
+	if *delay < backoffMax {
+		*delay *= 2
+	}
+	select {
+	case <-p.stop:
+		return false
+	case <-t.C:
+		return true
 	}
 }
 
@@ -142,15 +198,30 @@ func (p *NoncePool) Take(ctx context.Context) (*big.Int, error) {
 		f := p.factors[n-1]
 		p.factors = p.factors[:n-1]
 		p.mu.Unlock()
+		p.hits.Add(1)
 		p.kick()
 		return f, nil
 	}
 	p.mu.Unlock()
+	p.misses.Add(1)
 	p.kick()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return p.pk.BlindingFactor(p.lockedRandom())
+}
+
+// Stats returns a snapshot of the pool's health counters.
+func (p *NoncePool) Stats() PoolStats {
+	p.mu.Lock()
+	ready := len(p.factors)
+	p.mu.Unlock()
+	return PoolStats{
+		Ready:   ready,
+		Hits:    p.hits.Load(),
+		Misses:  p.misses.Load(),
+		Retries: p.retries.Load(),
+	}
 }
 
 // Len reports the number of ready factors (for tests and metrics).

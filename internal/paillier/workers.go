@@ -1,0 +1,130 @@
+package paillier
+
+import (
+	"errors"
+	"math/big"
+	"runtime"
+	"sync"
+)
+
+// Workers is a shared bounded worker pool for CPU-heavy Paillier batch
+// operations (decryption and ciphertext exponentiation). One pool is shared
+// by every party of an engine — and by every window in flight — so the
+// total crypto parallelism of a process is capped at the pool size no
+// matter how many protocol instances run concurrently.
+//
+// The pool is a pure concurrency limiter: it owns no goroutines of its own,
+// so it needs no Close and an idle pool costs nothing. A nil *Workers is
+// valid and means "no parallelism": batch operations run inline on the
+// caller's goroutine, which keeps single-threaded deployments free of any
+// scheduling overhead.
+type Workers struct {
+	sem chan struct{}
+}
+
+// NewWorkers creates a pool admitting up to n concurrent operations.
+// n <= 0 selects runtime.NumCPU().
+func NewWorkers(n int) *Workers {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	return &Workers{sem: make(chan struct{}, n)}
+}
+
+// Size reports the concurrency bound.
+func (w *Workers) Size() int {
+	if w == nil {
+		return 1
+	}
+	return cap(w.sem)
+}
+
+// Go runs f on its own goroutine once a worker slot is free, releasing the
+// slot when f returns. wg is incremented before launch and decremented when
+// f completes, so callers can wg.Wait() for a whole batch. A nil pool runs
+// f synchronously.
+func (w *Workers) Go(wg *sync.WaitGroup, f func()) {
+	if w == nil {
+		f()
+		return
+	}
+	wg.Add(1)
+	w.sem <- struct{}{}
+	go func() {
+		defer func() {
+			<-w.sem
+			wg.Done()
+		}()
+		f()
+	}()
+}
+
+// runBatch executes f(i) for i in [0, n) across the pool, returning the
+// first error by index (deterministic regardless of completion order).
+func (w *Workers) runBatch(n int, f func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if w == nil || cap(w.sem) == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		w.Go(&wg, func() { errs[i] = f(i) })
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecryptBatch decrypts each ciphertext concurrently across the pool and
+// returns the signed plaintexts in input order. It fails on the first
+// (lowest-index) invalid ciphertext. A nil pool decrypts sequentially.
+func (sk *PrivateKey) DecryptBatch(w *Workers, cts []*Ciphertext) ([]*big.Int, error) {
+	out := make([]*big.Int, len(cts))
+	err := w.runBatch(len(cts), func(i int) error {
+		m, err := sk.Decrypt(cts[i])
+		if err != nil {
+			return err
+		}
+		out[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScalarMulBatch computes E(k_i·m_i) for each (ciphertext, scalar) pair
+// concurrently across the pool, in input order. len(ks) must equal
+// len(cts). A nil pool computes sequentially.
+func (pk *PublicKey) ScalarMulBatch(w *Workers, cts []*Ciphertext, ks []*big.Int) ([]*Ciphertext, error) {
+	if len(cts) != len(ks) {
+		return nil, errors.New("paillier: scalar batch length mismatch")
+	}
+	out := make([]*Ciphertext, len(cts))
+	err := w.runBatch(len(cts), func(i int) error {
+		c, err := pk.ScalarMul(cts[i], ks[i])
+		if err != nil {
+			return err
+		}
+		out[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

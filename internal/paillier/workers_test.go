@@ -1,0 +1,226 @@
+package paillier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"testing"
+	"time"
+)
+
+func TestDecryptBatch(t *testing.T) {
+	key := testKey(t)
+	rng := testRand(2)
+	const n = 17
+	cts := make([]*Ciphertext, n)
+	want := make([]int64, n)
+	for i := range cts {
+		want[i] = int64(i*31 - 200)
+		ct, err := key.EncryptInt64(rng, want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	for _, workers := range []*Workers{nil, NewWorkers(1), NewWorkers(4), NewWorkers(64)} {
+		got, err := key.DecryptBatch(workers, cts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("got %d plaintexts", len(got))
+		}
+		for i, m := range got {
+			if m.Int64() != want[i] {
+				t.Fatalf("workers=%d: slot %d = %v, want %d", workers.Size(), i, m, want[i])
+			}
+		}
+	}
+	if res, err := key.DecryptBatch(NewWorkers(4), nil); err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+}
+
+func TestDecryptBatchPropagatesError(t *testing.T) {
+	key := testKey(t)
+	rng := testRand(3)
+	good, err := key.EncryptInt64(rng, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Ciphertext{C: big.NewInt(0)} // not in Z*_{n²}
+	if _, err := key.DecryptBatch(NewWorkers(4), []*Ciphertext{good, bad, good}); !errors.Is(err, ErrInvalidCiphertext) {
+		t.Fatalf("err = %v, want ErrInvalidCiphertext", err)
+	}
+}
+
+func TestScalarMulBatch(t *testing.T) {
+	key := testKey(t)
+	rng := testRand(4)
+	const n = 9
+	cts := make([]*Ciphertext, n)
+	ks := make([]*big.Int, n)
+	want := make([]int64, n)
+	for i := range cts {
+		v := int64(i + 1)
+		k := int64(i*3 - 8)
+		want[i] = v * k
+		ct, err := key.EncryptInt64(rng, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cts[i] = ct
+		ks[i] = big.NewInt(k)
+	}
+	out, err := key.ScalarMulBatch(NewWorkers(4), cts, ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ct := range out {
+		m, err := key.DecryptInt64(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != want[i] {
+			t.Fatalf("slot %d = %d, want %d", i, m, want[i])
+		}
+	}
+	if _, err := key.ScalarMulBatch(nil, cts, ks[:1]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// flakyReader fails its first failures reads, then delegates.
+type flakyReader struct {
+	failures int
+	inner    io.Reader
+}
+
+func (f *flakyReader) Read(b []byte) (int, error) {
+	if f.failures > 0 {
+		f.failures--
+		return 0, fmt.Errorf("transient entropy failure")
+	}
+	return f.inner.Read(b)
+}
+
+// TestNoncePoolRecoversFromRandomnessFailure is the regression test for
+// the silently-dying refill worker: transient randomness errors must be
+// retried (with the failure count visible in Stats) instead of degrading
+// the pool to inline computation for the rest of the session.
+func TestNoncePoolRecoversFromRandomnessFailure(t *testing.T) {
+	key := testKey(t)
+	pool := NewNoncePool(&key.PublicKey, PoolConfig{
+		Target:  3,
+		Workers: 1,
+		Random:  &flakyReader{failures: 2, inner: testRand(5)},
+	})
+	defer pool.Close()
+
+	deadline := time.After(30 * time.Second)
+	for pool.Len() < 3 {
+		select {
+		case <-deadline:
+			t.Fatalf("pool never refilled after transient failures; stats: %+v", pool.Stats())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	st := pool.Stats()
+	if st.Retries == 0 {
+		t.Errorf("stats recorded no retries: %+v", st)
+	}
+	if st.Ready < 3 {
+		t.Errorf("stats ready = %d, want >= 3", st.Ready)
+	}
+}
+
+func TestNoncePoolStatsCounters(t *testing.T) {
+	key := testKey(t)
+	pool := NewNoncePool(&key.PublicKey, PoolConfig{Target: 2, Workers: 1, Random: testRand(6)})
+	defer pool.Close()
+
+	ctx := context.Background()
+	deadline := time.After(30 * time.Second)
+	for pool.Len() < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("pool never filled")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if _, err := pool.Take(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if st.Hits == 0 {
+		t.Errorf("no hit recorded: %+v", st)
+	}
+
+	// Stop the refill workers, drain the stock, and force a miss.
+	pool.Close()
+	for pool.Len() > 0 {
+		if _, err := pool.Take(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pool.Take(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st = pool.Stats(); st.Misses == 0 {
+		t.Errorf("no miss recorded after drain: %+v", st)
+	}
+}
+
+func TestNoncePoolCloseDuringBackoff(t *testing.T) {
+	key := testKey(t)
+	pool := NewNoncePool(&key.PublicKey, PoolConfig{
+		Target:  4,
+		Workers: 1,
+		Random:  &flakyReader{failures: 1 << 30, inner: testRand(7)}, // never recovers
+	})
+	done := make(chan struct{})
+	go func() {
+		pool.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on a worker stuck in retry backoff")
+	}
+}
+
+// BenchmarkDecryptBatch isolates the worker-pool speedup of the Protocol 4
+// hot path (Hs decrypting one masked ciphertext per demand-side member).
+// On a multi-core host the 8-worker batch decrypts the 32-ciphertext batch
+// several times faster than the single-worker one.
+func BenchmarkDecryptBatch(b *testing.B) {
+	key, err := GenerateKey(testRand(8), 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := testRand(9)
+	const n = 32
+	cts := make([]*Ciphertext, n)
+	for i := range cts {
+		ct, err := key.EncryptInt64(rng, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cts[i] = ct
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			w := NewWorkers(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := key.DecryptBatch(w, cts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

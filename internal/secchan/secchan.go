@@ -183,6 +183,25 @@ func (c *Conn) Recv(ctx context.Context, from, tag string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.open(from, tag, sealed)
+}
+
+// RecvAny receives the first sealed payload to arrive from any of the
+// listed peers and opens it under that peer's channel.
+func (c *Conn) RecvAny(ctx context.Context, tag string, froms []string) (string, []byte, error) {
+	from, sealed, err := c.inner.RecvAny(ctx, tag, froms)
+	if err != nil {
+		return "", nil, err
+	}
+	plain, err := c.open(from, tag, sealed)
+	if err != nil {
+		return "", nil, err
+	}
+	return from, plain, nil
+}
+
+// open unseals a received payload under the channel with from.
+func (c *Conn) open(from, tag string, sealed []byte) ([]byte, error) {
 	a, err := c.aead(from)
 	if err != nil {
 		return nil, err

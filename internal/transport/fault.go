@@ -116,5 +116,10 @@ func (f *FaultConn) Recv(ctx context.Context, from, tag string) ([]byte, error) 
 	return f.inner.Recv(ctx, from, tag)
 }
 
+// RecvAny implements Conn.
+func (f *FaultConn) RecvAny(ctx context.Context, tag string, froms []string) (string, []byte, error) {
+	return f.inner.RecvAny(ctx, tag, froms)
+}
+
 // Close implements Conn.
 func (f *FaultConn) Close() error { return f.inner.Close() }

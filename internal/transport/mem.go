@@ -99,6 +99,10 @@ func (c *memConn) Recv(ctx context.Context, from, tag string) ([]byte, error) {
 	return c.mbox.pop(ctx, from, tag)
 }
 
+func (c *memConn) RecvAny(ctx context.Context, tag string, froms []string) (string, []byte, error) {
+	return c.mbox.popAny(ctx, tag, froms)
+}
+
 func (c *memConn) Close() error {
 	c.closeOnce.Do(func() {
 		c.mbox.close()

@@ -29,7 +29,7 @@ type TCPNode struct {
 	metrics *Metrics
 
 	mu      sync.Mutex
-	conns   map[string]net.Conn   // outbound connections
+	conns   map[string]*tcpConn   // outbound connections
 	inbound map[net.Conn]struct{} // accepted connections (closed on Close)
 
 	wg        sync.WaitGroup
@@ -38,6 +38,22 @@ type TCPNode struct {
 }
 
 var _ Conn = (*TCPNode)(nil)
+
+// tcpConn pairs an outbound connection with its own write mutex so that a
+// frame in flight to one peer never serializes sends to other peers. Only
+// frame writes need the lock: each connection has exactly one writer path
+// (Send) and the mutex keeps concurrent frames to the same peer from
+// interleaving mid-frame.
+type tcpConn struct {
+	net.Conn
+	wmu sync.Mutex
+}
+
+func (c *tcpConn) writeFrame(msg Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.Conn, msg)
+}
 
 // ListenTCP starts a node for party on addr (e.g. "127.0.0.1:0"). roster
 // maps every peer party to its dialable address; it may include the local
@@ -60,7 +76,7 @@ func ListenTCP(party, addr string, roster map[string]string, metrics *Metrics) (
 		roster:  r,
 		mbox:    newMailbox(),
 		metrics: metrics,
-		conns:   make(map[string]net.Conn),
+		conns:   make(map[string]*tcpConn),
 		inbound: make(map[net.Conn]struct{}),
 		closed:  make(chan struct{}),
 	}
@@ -136,10 +152,10 @@ func (n *TCPNode) Send(ctx context.Context, to, tag string, payload []byte) erro
 		return err
 	}
 	msg := Message{From: n.party, To: to, Tag: tag, Payload: payload}
-	n.mu.Lock()
-	err = writeFrame(conn, msg)
-	n.mu.Unlock()
-	if err != nil {
+	// Only this connection's write mutex is held across the (potentially
+	// blocking) network write: a stalled peer cannot delay sends to healthy
+	// ones.
+	if err := conn.writeFrame(msg); err != nil {
 		// Connection broke: drop it so the next Send re-dials.
 		n.mu.Lock()
 		if c, ok := n.conns[to]; ok && c == conn {
@@ -153,7 +169,7 @@ func (n *TCPNode) Send(ctx context.Context, to, tag string, payload []byte) erro
 	return nil
 }
 
-func (n *TCPNode) dial(ctx context.Context, to string) (net.Conn, error) {
+func (n *TCPNode) dial(ctx context.Context, to string) (*tcpConn, error) {
 	n.mu.Lock()
 	if c, ok := n.conns[to]; ok {
 		n.mu.Unlock()
@@ -175,13 +191,19 @@ func (n *TCPNode) dial(ctx context.Context, to string) (net.Conn, error) {
 		c.Close()
 		return existing, nil
 	}
-	n.conns[to] = c
-	return c, nil
+	tc := &tcpConn{Conn: c}
+	n.conns[to] = tc
+	return tc, nil
 }
 
 // Recv implements Conn.
 func (n *TCPNode) Recv(ctx context.Context, from, tag string) ([]byte, error) {
 	return n.mbox.pop(ctx, from, tag)
+}
+
+// RecvAny implements Conn.
+func (n *TCPNode) RecvAny(ctx context.Context, tag string, froms []string) (string, []byte, error) {
+	return n.mbox.popAny(ctx, tag, froms)
 }
 
 // Close implements Conn. It stops the accept loop, closes all connections
@@ -194,7 +216,7 @@ func (n *TCPNode) Close() error {
 		for _, c := range n.conns {
 			c.Close()
 		}
-		n.conns = make(map[string]net.Conn)
+		n.conns = make(map[string]*tcpConn)
 		// Closing inbound connections unblocks their readLoops; without
 		// this, Close deadlocks waiting for readers whose peers close
 		// after us.

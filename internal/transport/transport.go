@@ -78,6 +78,15 @@ type Conn interface {
 	// Recv blocks until a message from the given peer with the given tag
 	// arrives (or ctx is done) and returns its payload.
 	Recv(ctx context.Context, from, tag string) ([]byte, error)
+	// RecvAny blocks until a message with the given tag arrives from any of
+	// the listed peers and returns the sender with its payload — the
+	// arrival-order receive primitive: a collector draining n peers takes
+	// whichever message lands first instead of head-of-line blocking on a
+	// fixed roster order. When several peers already have buffered
+	// messages, the earliest peer in froms wins (deterministic drain). The
+	// same concurrency rule as Recv applies: no two goroutines may wait on
+	// overlapping (from, tag) pairs.
+	RecvAny(ctx context.Context, tag string, froms []string) (from string, payload []byte, err error)
 	// Close releases the endpoint. Pending and future Recv calls fail.
 	Close() error
 }
@@ -100,7 +109,12 @@ type mailbox struct {
 	mu     sync.Mutex
 	queues map[inboxKey][][]byte
 	wait   map[inboxKey]chan struct{} // signalled on push
-	closed bool
+	// anyWait is a broadcast channel for popAny waiters, whose wake-up key
+	// is not known in advance. It is created lazily when a popAny caller is
+	// about to block and closed-and-cleared by the next push, so the
+	// ordinary per-message path pays nothing for it.
+	anyWait chan struct{}
+	closed  bool
 }
 
 func newMailbox() *mailbox {
@@ -121,6 +135,10 @@ func (mb *mailbox) push(m Message) error {
 	if ch, ok := mb.wait[k]; ok {
 		close(ch)
 		delete(mb.wait, k)
+	}
+	if mb.anyWait != nil {
+		close(mb.anyWait)
+		mb.anyWait = nil
 	}
 	return nil
 }
@@ -158,6 +176,47 @@ func (mb *mailbox) pop(ctx context.Context, from, tag string) ([]byte, error) {
 	}
 }
 
+// popAny removes and returns the first available message with the given
+// tag from any of the listed senders, blocking until one arrives. When
+// several senders have buffered messages, the earliest sender in froms is
+// drained first.
+func (mb *mailbox) popAny(ctx context.Context, tag string, froms []string) (string, []byte, error) {
+	if len(froms) == 0 {
+		return "", nil, fmt.Errorf("transport: recv any tag %q: empty peer set", tag)
+	}
+	for {
+		mb.mu.Lock()
+		for _, from := range froms {
+			k := inboxKey{from: from, tag: tag}
+			if q := mb.queues[k]; len(q) > 0 {
+				payload := q[0]
+				if len(q) == 1 {
+					delete(mb.queues, k)
+				} else {
+					mb.queues[k] = q[1:]
+				}
+				mb.mu.Unlock()
+				return from, payload, nil
+			}
+		}
+		if mb.closed {
+			mb.mu.Unlock()
+			return "", nil, ErrClosed
+		}
+		if mb.anyWait == nil {
+			mb.anyWait = make(chan struct{})
+		}
+		ch := mb.anyWait
+		mb.mu.Unlock()
+
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return "", nil, fmt.Errorf("transport: recv any tag %q: %w", tag, ctx.Err())
+		}
+	}
+}
+
 func (mb *mailbox) close() {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -168,5 +227,9 @@ func (mb *mailbox) close() {
 	for k, ch := range mb.wait {
 		close(ch)
 		delete(mb.wait, k)
+	}
+	if mb.anyWait != nil {
+		close(mb.anyWait)
+		mb.anyWait = nil
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"github.com/pem-go/pem/internal/dataset"
 	"github.com/pem-go/pem/internal/ledger"
 	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/paillier"
 	"github.com/pem-go/pem/internal/transport"
 )
 
@@ -71,6 +72,8 @@ type (
 	Trace = dataset.Trace
 	// TraceConfig controls synthetic trace generation.
 	TraceConfig = dataset.Config
+	// PoolStats is a snapshot of the pre-encryption pool health counters.
+	PoolStats = paillier.PoolStats
 )
 
 // Re-exported enum values.
@@ -113,7 +116,25 @@ type Config struct {
 	// randomness stream, so pipelining never changes outcomes — a seeded
 	// market produces bit-identical results at any depth.
 	MaxInflightWindows int
+	// CryptoWorkers sizes the shared worker pool for intra-window parallel
+	// crypto — the chosen counterparty's batched decryption of Protocol 4's
+	// masked ciphertexts (default: runtime.NumCPU()). The pool is shared
+	// fleet-wide, so total crypto parallelism stays bounded no matter how
+	// many windows are in flight. Outcomes are bit-identical at any worker
+	// count.
+	CryptoWorkers int
+	// Aggregation selects the encrypted-sum topology for the coalition
+	// aggregations of Protocols 2 and 4: AggregationRing (default, the
+	// paper's O(n)-latency sequential chain) or AggregationTree (log-depth
+	// binary reduction with the same leakage profile).
+	Aggregation string
 }
+
+// Aggregation topologies for Config.Aggregation.
+const (
+	AggregationRing = core.AggregationRing
+	AggregationTree = core.AggregationTree
+)
 
 // Market is a running private energy market.
 type Market struct {
@@ -137,6 +158,8 @@ func NewMarket(cfg Config, agents []Agent) (*Market, error) {
 		PreEncrypt:         cfg.PreEncrypt == nil || *cfg.PreEncrypt,
 		Seed:               cfg.Seed,
 		MaxInflightWindows: cfg.MaxInflightWindows,
+		CryptoWorkers:      cfg.CryptoWorkers,
+		Aggregation:        cfg.Aggregation,
 	}
 	eng, err := core.NewEngine(coreCfg, agents)
 	if err != nil {
@@ -159,6 +182,13 @@ func (m *Market) Ledger() *Ledger { return m.ledger }
 
 // Metrics exposes transport byte accounting (Table I).
 func (m *Market) Metrics() *transport.Metrics { return m.engine.Metrics() }
+
+// PoolStats aggregates the pre-encryption pool health counters across the
+// fleet (all zeros when PreEncrypt is disabled). A growing Misses count
+// means critical-path encryptions are paying the full exponentiation
+// inline; Retries counts transient randomness failures the background
+// workers recovered from.
+func (m *Market) PoolStats() PoolStats { return m.engine.PoolStats() }
 
 // Close releases background resources. Closing while windows are in
 // flight drains them first: running windows complete normally, windows

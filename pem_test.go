@@ -330,6 +330,131 @@ func TestRunWindowsPipelinedBitIdentical(t *testing.T) {
 	}
 }
 
+// TestRunWindowParallelCryptoBitIdentical is the determinism acceptance
+// check for the intra-window parallel engine: with the default ring
+// topology, a seeded run must produce bit-identical per-window results at
+// every crypto worker count.
+func TestRunWindowParallelCryptoBitIdentical(t *testing.T) {
+	tr, err := pem.GenerateTrace(pem.TraceConfig{Homes: 8, Windows: 12, Seed: 171717, StartHour: 16.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([][]pem.WindowInput, tr.Windows)
+	for w := 0; w < tr.Windows; w++ {
+		if inputs[w], err = tr.WindowInputs(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func(workers int) []*pem.WindowResult {
+		m, err := pem.NewMarket(pem.Config{
+			KeyBits:       256,
+			Seed:          seedPtr(55),
+			CryptoWorkers: workers,
+		}, tr.Agents())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 600*time.Second)
+		defer cancel()
+		results, err := m.RunWindows(ctx, inputs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return results
+	}
+
+	seq := run(1)
+	for _, workers := range []int{4, 16} {
+		par := run(workers)
+		for w := range seq {
+			s, p := seq[w], par[w]
+			if s.Kind != p.Kind || s.Price != p.Price || s.PHat != p.PHat || s.Degenerate != p.Degenerate {
+				t.Errorf("workers=%d window %d: outcome differs: %+v vs %+v", workers, w, s, p)
+			}
+			if len(s.Trades) != len(p.Trades) {
+				t.Fatalf("workers=%d window %d: trade counts differ", workers, w)
+			}
+			for i := range s.Trades {
+				if s.Trades[i] != p.Trades[i] {
+					t.Errorf("workers=%d window %d trade %d: %+v vs %+v", workers, w, i, s.Trades[i], p.Trades[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRunDayTreeAggregationMatchesSimulation validates the log-depth tree
+// topology against the plaintext oracle over a full (small) trace: every
+// window's clearing must match market.Clear to fixed-point precision, as
+// with the default ring.
+func TestRunDayTreeAggregationMatchesSimulation(t *testing.T) {
+	tr, err := pem.GenerateTrace(pem.TraceConfig{Homes: 6, Windows: 6, Seed: 7, StartHour: 16.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pem.NewMarket(pem.Config{
+		KeyBits:            256,
+		Seed:               seedPtr(77),
+		Aggregation:        pem.AggregationTree,
+		MaxInflightWindows: 2,
+	}, tr.Agents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	day, err := m.RunDay(ctx, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := pem.SimulateDay(tr, pem.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, res := range day.Results {
+		if math.Abs(res.Price-sim.Price[w]) > 1e-4 {
+			t.Errorf("window %d: tree price %v, simulated %v", w, res.Price, sim.Price[w])
+		}
+		if res.Kind != sim.Kind[w] {
+			t.Errorf("window %d: tree kind %v, simulated %v", w, res.Kind, sim.Kind[w])
+		}
+		if res.SellerCount != sim.SellerCount[w] || res.BuyerCount != sim.BuyerCount[w] {
+			t.Errorf("window %d: coalition sizes disagree", w)
+		}
+		// Per-window traded volume must match the oracle's clearing.
+		clr, err := pem.Clear(tr.Agents(), mustInputs(t, tr, w), pem.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want float64
+		for _, tr := range res.Trades {
+			got += tr.Energy
+		}
+		for _, tr := range clr.Trades {
+			want += tr.Energy
+		}
+		if math.Abs(got-want) > 1e-3 {
+			t.Errorf("window %d: tree volume %v, oracle %v", w, got, want)
+		}
+	}
+	if err := m.Ledger().Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustInputs(t *testing.T, tr *pem.Trace, w int) []pem.WindowInput {
+	t.Helper()
+	in, err := tr.WindowInputs(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
 // TestStreamDayInOrder checks the streaming day path delivers results in
 // strict window order while pipelining, and that the ledger matches.
 func TestStreamDayInOrder(t *testing.T) {
