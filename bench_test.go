@@ -165,6 +165,56 @@ func BenchmarkPipelinedDay(b *testing.B) {
 	}
 }
 
+// --- Sharded coalition grid: coalition-count sweep ---
+//
+// Pipelining overlaps windows of one market; the grid overlaps whole
+// coalition markets: the fleet is partitioned into k coalitions that trade
+// concurrently over one shared bus and one bounded crypto pool, and their
+// residuals settle against the grid. Aggregate windows/sec scales with the
+// coalition count — the single-roster ring serializes its parties, while k
+// small rings run k windows at once. Outcomes per coalition are
+// bit-identical at any coalition concurrency (asserted by
+// TestGridBitIdenticalAcrossConcurrency).
+
+func BenchmarkCoalitionGrid(b *testing.B) {
+	fleet, err := pem.GenerateFleet(pem.FleetConfig{
+		Coalitions:        4,
+		HomesPerCoalition: 4,
+		Windows:           2,
+		Seed:              20200425,
+		StartHour:         11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, coalitions := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("coalitions=%d", coalitions), func(b *testing.B) {
+			seed := int64(15)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var perSec float64
+			for i := 0; i < b.N; i++ {
+				g, err := pem.NewGrid(pem.GridConfig{
+					Market:                  pem.Config{KeyBits: 512, Seed: &seed},
+					Coalitions:              coalitions,
+					Partition:               pem.PartitionBalanced,
+					MaxConcurrentCoalitions: coalitions,
+				}, fleet)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := g.Run(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perSec = res.WindowsPerSec
+			}
+			b.ReportMetric(perSec, "windows/sec")
+		})
+	}
+}
+
 // --- Intra-window parallel crypto engine: worker-count sweep ---
 //
 // Pipelining (above) overlaps whole windows; the parallel engine speeds up

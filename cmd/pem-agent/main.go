@@ -25,7 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/pem-go/pem/internal/core"
@@ -79,6 +81,24 @@ func run(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	// SIGINT/SIGTERM drain rather than kill: the in-flight window runs to
+	// completion (dying mid-protocol would strand every peer in the
+	// coalition waiting on our ring position), then the agent exits before
+	// launching the next one. A second signal force-kills via the default
+	// handler, which stopSignals restores as soon as the first arrives.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	finished := make(chan struct{})
+	defer close(finished)
+	go func() {
+		select {
+		case <-sigCtx.Done():
+			fmt.Fprintf(os.Stderr, "[%s] signal received: draining current window, then exiting (signal again to abort)\n", *id)
+			stopSignals()
+		case <-finished:
+		}
+	}()
+
 	peerIDs := make([]string, 0, len(peers)+1)
 	peerIDs = append(peerIDs, *id)
 	for pid := range peers {
@@ -105,6 +125,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer party.Close()
 	if err := party.ExchangeKeys(ctx, peerIDs); err != nil {
 		return err
 	}
@@ -112,6 +133,10 @@ func run(args []string) error {
 
 	input := market.WindowInput{Generation: *gen, Load: *load, Battery: *batt}
 	for w := 0; w < *windows; w++ {
+		if sigCtx.Err() != nil {
+			fmt.Printf("[%s] drained: exiting after %d of %d windows\n", *id, w, *windows)
+			return nil
+		}
 		start := time.Now()
 		out, err := party.RunTradingWindow(ctx, w, input)
 		if err != nil {

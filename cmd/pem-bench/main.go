@@ -10,6 +10,7 @@
 //	pem-bench -fig 6a|6b|6c|6d  # trading-performance figures
 //	pem-bench -fig pipe         # sequential vs pipelined day comparison
 //	pem-bench -fig par          # sequential vs parallel window comparison
+//	pem-bench -fig grid         # sharded coalition grid throughput sweep
 //	pem-bench -table 1          # average bandwidth by key size
 //	pem-bench -all              # everything
 //
@@ -24,10 +25,16 @@
 // -crypto-workers N sizes the intra-window parallel crypto pool (default:
 // all cores) and -agg ring|tree selects the coalition aggregation
 // topology; outcomes are identical under every combination.
+//
+// The grid figure shards a heterogeneous fleet into -coalitions coalitions
+// under the -partition strategy (fixed, random or balanced) and sweeps the
+// coalition count, reporting aggregate windows/sec; -csv FILE additionally
+// writes the sweep as CSV.
 package main
 
 import (
 	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
@@ -57,6 +64,9 @@ type options struct {
 	inflight  int
 	cryptoWrk int
 	agg       string
+	coalition int
+	partition string
+	csvPath   string
 }
 
 func run(args []string) error {
@@ -74,6 +84,9 @@ func run(args []string) error {
 	fs.IntVar(&opt.inflight, "inflight", 1, "trading windows to keep in flight concurrently")
 	fs.IntVar(&opt.cryptoWrk, "crypto-workers", 0, "intra-window crypto worker pool size (0 = all cores)")
 	fs.StringVar(&opt.agg, "agg", "", "aggregation topology: ring (default) or tree")
+	fs.IntVar(&opt.coalition, "coalitions", 4, "max coalition count for the grid sweep")
+	fs.StringVar(&opt.partition, "partition", pem.PartitionBalanced, "grid partition strategy: fixed, random or balanced")
+	fs.StringVar(&opt.csvPath, "csv", "", "also write the grid sweep to this CSV file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,12 +106,13 @@ func run(args []string) error {
 		"6d":   fig6d,
 		"pipe": pipeComparison,
 		"par":  parComparison,
+		"grid": figGrid,
 		"t1":   table1,
 	}
 	var targets []string
 	switch {
 	case opt.all:
-		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "t1"}
+		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "t1"}
 	case opt.table == 1:
 		targets = []string{"t1"}
 	case opt.table != 0:
@@ -476,6 +490,133 @@ func fig6d(o options) error {
 	fmt.Printf("%8s %14.1f %14.1f  (day total, %.1f%% reduction)\n",
 		"all", pemTot, baseTot, 100*(1-pemTot/baseTot))
 	return nil
+}
+
+// figGrid sweeps the coalition count over one heterogeneous fleet: the same
+// homes trade as one big coalition, then sharded 2-way, 4-way, … with all
+// coalitions running concurrently over shared crypto and transport. The
+// headline column is aggregate windows/sec — sharding turns the O(n)-round
+// single-roster day into many small concurrent days, so throughput scales
+// with the coalition count on a multicore host. Per-coalition outcomes stay
+// bit-identical at any concurrency; across coalition counts the markets
+// differ (different rosters), which is the point of the experiment.
+func figGrid(o options) error {
+	homes, windows := o.scale(192, 48, 16, 4)
+	keyBits := 512
+	if o.full {
+		keyBits = 1024
+	}
+	if o.keyBits > 0 {
+		keyBits = o.keyBits
+	}
+	// One fleet for the whole sweep: four scenario blocks regardless of the
+	// coalition count under test, so every k trades the same homes.
+	blocks := 4
+	if homes/blocks < 2 {
+		blocks = 1
+	}
+	tr, err := pem.GenerateFleet(pem.FleetConfig{
+		Coalitions:        blocks,
+		HomesPerCoalition: homes / blocks,
+		Windows:           windows,
+		Seed:              o.seed,
+		StartHour:         11, // midday slice: populated coalitions on both sides
+	})
+	if err != nil {
+		return err
+	}
+	homes = blocks * (homes / blocks)
+
+	maxK := o.coalition
+	if maxK < 1 {
+		maxK = 1
+	}
+	// Every coalition needs at least two agents; cap the sweep rather than
+	// fail after the smaller counts have already burned their compute.
+	if limit := homes / 2; maxK > limit {
+		fmt.Fprintf(os.Stderr, "pem-bench: capping -coalitions %d at %d (%d homes, ≥2 per coalition)\n", maxK, limit, homes)
+		maxK = limit
+	}
+	var ks []int
+	for k := 1; k <= maxK; k *= 2 {
+		ks = append(ks, k)
+	}
+	if last := ks[len(ks)-1]; last != maxK {
+		ks = append(ks, maxK)
+	}
+
+	header(fmt.Sprintf("Coalition grid — %d homes, %d windows, %d-bit keys, %s partition",
+		homes, windows, keyBits, o.partition))
+	fmt.Printf("%10s %14s %14s %10s %12s %12s %14s\n",
+		"coalitions", "total runtime", "windows/sec", "speedup", "import kWh", "export kWh", "netting gain")
+	rows := [][]string{{
+		"coalitions", "partition", "homes", "windows", "keybits",
+		"total_ms", "windows_per_sec", "speedup", "bytes",
+		"import_kwh", "export_kwh", "matched_kwh", "netting_gain_cents",
+	}}
+	var baseline float64
+	for _, k := range ks {
+		seed := o.seed
+		g, err := pem.NewGrid(pem.GridConfig{
+			Market: pem.Config{
+				KeyBits:            keyBits,
+				Seed:               &seed,
+				MaxInflightWindows: o.inflight,
+				CryptoWorkers:      o.cryptoWrk,
+				Aggregation:        o.agg,
+			},
+			Coalitions:              k,
+			Partition:               o.partition,
+			MaxConcurrentCoalitions: k,
+		}, tr)
+		if err != nil {
+			return fmt.Errorf("coalitions=%d: %w", k, err)
+		}
+		res, err := g.Run(context.Background())
+		if err != nil {
+			return fmt.Errorf("coalitions=%d: %w", k, err)
+		}
+		if k == ks[0] {
+			baseline = res.WindowsPerSec
+		}
+		speedup := res.WindowsPerSec / baseline
+		fleet := res.Settlement.Fleet
+		fmt.Printf("%10d %14s %14.2f %9.2fx %12.2f %12.2f %13.0fc\n",
+			k, res.Duration.Round(time.Millisecond), res.WindowsPerSec, speedup,
+			fleet.ImportKWh, fleet.ExportKWh, res.Settlement.NettingGainCents)
+		rows = append(rows, []string{
+			fmt.Sprint(k), o.partition, fmt.Sprint(homes), fmt.Sprint(windows), fmt.Sprint(keyBits),
+			fmt.Sprint(res.Duration.Milliseconds()),
+			fmt.Sprintf("%.3f", res.WindowsPerSec),
+			fmt.Sprintf("%.3f", speedup),
+			fmt.Sprint(res.TotalBytes),
+			fmt.Sprintf("%.4f", fleet.ImportKWh),
+			fmt.Sprintf("%.4f", fleet.ExportKWh),
+			fmt.Sprintf("%.4f", res.Settlement.MatchedKWh),
+			fmt.Sprintf("%.2f", res.Settlement.NettingGainCents),
+		})
+	}
+	fmt.Println("(same fleet at every row; aggregate throughput across concurrent coalition markets)")
+	if o.csvPath != "" {
+		if err := writeCSV(o.csvPath, rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.csvPath)
+	}
+	return nil
+}
+
+// writeCSV dumps rows to path.
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := csv.NewWriter(f).WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // table1: average bandwidth per m windows by key size.

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestScaleResolution(t *testing.T) {
 	cases := []struct {
@@ -42,5 +47,33 @@ func TestRunTinyFigure(t *testing.T) {
 	}
 	if err := run([]string{"-fig", "6a", "-homes", "10", "-windows", "30", "-sample", "15"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTinyGrid(t *testing.T) {
+	// The grid sweep end to end at tiny scale, with CSV output.
+	path := filepath.Join(t.TempDir(), "grid.csv")
+	err := run([]string{
+		"-fig", "grid", "-homes", "8", "-windows", "1", "-keybits", "256",
+		"-coalitions", "2", "-partition", "fixed", "-csv", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + one row per swept coalition count (1 and 2).
+	if len(rows) != 3 || rows[0][0] != "coalitions" || rows[1][0] != "1" || rows[2][0] != "2" {
+		t.Fatalf("csv shape wrong: %v", rows)
+	}
+	if err := run([]string{"-fig", "grid", "-homes", "8", "-windows", "1", "-partition", "spiral"}); err == nil {
+		t.Error("unknown partition strategy accepted")
 	}
 }

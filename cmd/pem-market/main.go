@@ -8,9 +8,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/pem-go/pem"
@@ -105,26 +108,54 @@ func runPrivate(tr *pem.Trace, keyBits int, seed int64) error {
 	}
 	defer m.Close()
 
+	// SIGINT/SIGTERM drain rather than kill: Close stops admitting new
+	// windows and lets the in-flight ones finish (dying mid-protocol would
+	// discard their work), then the day run returns ErrMarketClosed, which
+	// we report as a clean early exit with the completed windows' summary.
+	// A second signal force-kills via the default handler.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	finished := make(chan struct{})
+	defer close(finished)
+	go func() {
+		select {
+		case <-sigCtx.Done():
+			fmt.Fprintln(os.Stderr, "pem-market: signal received: draining in-flight windows (signal again to abort)")
+			stopSignals()
+			m.Close()
+		case <-finished:
+		}
+	}()
+
 	fmt.Printf("Private Energy Market — cryptographic day run\n")
 	fmt.Printf("  homes: %d   windows: %d   key: %d-bit Paillier\n", len(tr.Homes), tr.Windows, keyBits)
 
 	start := time.Now()
-	day, err := m.RunDay(context.Background(), tr)
-	if err != nil {
+	var windows, trades int
+	var bytesTotal int64
+	_, err = m.StreamDay(context.Background(), tr, func(res *pem.WindowResult) error {
+		windows++
+		trades += len(res.Trades)
+		bytesTotal += res.BytesOnWire
+		return nil
+	})
+	interrupted := errors.Is(err, pem.ErrMarketClosed)
+	if err != nil && !interrupted {
 		return err
 	}
 	elapsed := time.Since(start)
 
-	var trades int
-	for _, res := range day.Results {
-		trades += len(res.Trades)
+	if interrupted {
+		fmt.Printf("  interrupted: drained after %d of %d windows\n", windows, tr.Windows)
 	}
-	fmt.Printf("  completed in %s (%s/window average)\n",
-		elapsed.Round(time.Millisecond), (elapsed / time.Duration(tr.Windows)).Round(time.Millisecond))
-	fmt.Printf("  pairwise trades routed: %d\n", trades)
-	fmt.Printf("  protocol traffic: %.2f MB total, %.3f MB/window\n",
-		float64(day.TotalBytes)/1e6, float64(day.TotalBytes)/float64(tr.Windows)/1e6)
-	if l := m.Ledger(); l != nil {
+	if windows > 0 {
+		fmt.Printf("  completed %d windows in %s (%s/window average)\n",
+			windows, elapsed.Round(time.Millisecond), (elapsed / time.Duration(windows)).Round(time.Millisecond))
+		fmt.Printf("  pairwise trades routed: %d\n", trades)
+		fmt.Printf("  protocol traffic: %.2f MB total, %.3f MB/window\n",
+			float64(bytesTotal)/1e6, float64(bytesTotal)/float64(windows)/1e6)
+	}
+	if l := m.Ledger(); l != nil && l.Len() > 0 {
 		if err := l.Verify(); err != nil {
 			return fmt.Errorf("ledger verification: %w", err)
 		}

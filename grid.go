@@ -1,0 +1,152 @@
+package pem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/pem-go/pem/internal/dataset"
+	"github.com/pem-go/pem/internal/grid"
+	"github.com/pem-go/pem/internal/market"
+)
+
+// This file is the public face of the sharded coalition grid: partition a
+// large fleet into coalitions, run each coalition as its own private market
+// over shared crypto and transport, and settle every coalition's residual
+// supply/demand against the main grid. It mirrors the Market API: configure,
+// construct, Run.
+
+// Re-exported grid model types.
+type (
+	// Scenario names a dataset synthesis preset (sunny, overcast, …).
+	Scenario = dataset.Scenario
+	// FleetConfig controls heterogeneous fleet synthesis (GenerateFleet).
+	FleetConfig = dataset.FleetConfig
+	// CoalitionRun is one coalition's day outcome inside a GridResult.
+	CoalitionRun = grid.CoalitionRun
+	// GridResult is the outcome of a full grid run.
+	GridResult = grid.Result
+	// CoalitionResidual is one coalition's day-aggregate unmatched energy.
+	CoalitionResidual = market.CoalitionResidual
+	// CoalitionSettlement values one coalition's residuals at the grid tariff.
+	CoalitionSettlement = market.CoalitionSettlement
+	// GridSettlement is the fleet-wide residual settlement, including the
+	// cross-coalition netting opportunity.
+	GridSettlement = market.GridSettlement
+)
+
+// Dataset scenario presets (see GenerateFleet).
+const (
+	ScenarioBase         = dataset.ScenarioBase
+	ScenarioSunny        = dataset.ScenarioSunny
+	ScenarioOvercast     = dataset.ScenarioOvercast
+	ScenarioWinter       = dataset.ScenarioWinter
+	ScenarioStorageHeavy = dataset.ScenarioStorageHeavy
+)
+
+// Partition strategies for GridConfig.Partition.
+const (
+	// PartitionFixed chunks the fleet in roster order (scenario-pure blocks
+	// for a GenerateFleet trace).
+	PartitionFixed = string(grid.StrategyFixed)
+	// PartitionRandom shuffles with a seeded permutation before chunking.
+	PartitionRandom = string(grid.StrategyRandom)
+	// PartitionBalanced greedily mixes producers and consumers per
+	// coalition using only public agent metadata.
+	PartitionBalanced = string(grid.StrategyBalanced)
+)
+
+// GenerateFleet synthesizes a heterogeneous fleet trace: one scenario
+// preset per coalition-sized block, all derived from a single seed. Feed it
+// to NewGrid.
+func GenerateFleet(cfg FleetConfig) (*Trace, error) {
+	return dataset.GenerateFleet(cfg)
+}
+
+// ErrCoalitionSkipped marks coalitions never launched because an earlier
+// coalition's failure stopped the grid.
+var ErrCoalitionSkipped = grid.ErrCoalitionSkipped
+
+// GridConfig configures a sharded coalition grid.
+type GridConfig struct {
+	// Market is the per-coalition market configuration: every coalition
+	// runs a full private market under it (key size, pipeline depth,
+	// crypto workers, aggregation topology, seed). The crypto worker pool
+	// is shared across coalitions, so CryptoWorkers bounds the whole
+	// process. RecordLedger is ignored: grid runs return per-window results
+	// and leave ledgering to the caller.
+	Market Config
+	// Coalitions is how many coalitions to partition the fleet into
+	// (required; every coalition needs at least two agents).
+	Coalitions int
+	// Partition selects the strategy: PartitionFixed (default),
+	// PartitionRandom or PartitionBalanced.
+	Partition string
+	// PartitionSeed feeds PartitionRandom (defaults to *Market.Seed when
+	// set). The partition is computed once, in NewGrid.
+	PartitionSeed int64
+	// MaxConcurrentCoalitions is the global in-flight budget: how many
+	// coalition-days run concurrently (default: all). Outcomes are
+	// bit-identical at any setting when Market.Seed is set.
+	MaxConcurrentCoalitions int
+}
+
+// Grid is a partitioned fleet ready to trade. Unlike Market (whose keys
+// outlive windows), a Grid provisions each coalition's engine inside Run,
+// so the zero-state struct holds only the plan: trace and partition.
+type Grid struct {
+	cfg   GridConfig
+	trace *Trace
+	parts [][]int
+}
+
+// NewGrid partitions the fleet trace into coalitions. The partition is
+// deterministic given the config and visible via Partition before any
+// protocol runs.
+func NewGrid(cfg GridConfig, trace *Trace) (*Grid, error) {
+	if trace == nil || len(trace.Homes) == 0 {
+		return nil, errors.New("pem: grid needs a non-empty fleet trace")
+	}
+	if cfg.Coalitions <= 0 {
+		return nil, errors.New("pem: GridConfig.Coalitions must be positive")
+	}
+	seed := cfg.PartitionSeed
+	if seed == 0 && cfg.Market.Seed != nil {
+		seed = *cfg.Market.Seed
+	}
+	parts, err := grid.Partition(grid.Strategy(cfg.Partition), trace.Homes, cfg.Coalitions, seed)
+	if err != nil {
+		return nil, fmt.Errorf("pem: %w", err)
+	}
+	return &Grid{cfg: cfg, trace: trace, parts: parts}, nil
+}
+
+// Partition returns the coalition membership as agent IDs, in coalition
+// order. Membership derives only from public agent metadata.
+func (g *Grid) Partition() [][]string {
+	out := make([][]string, len(g.parts))
+	for i, part := range g.parts {
+		out[i] = make([]string, len(part))
+		for j, h := range part {
+			out[i][j] = g.trace.Homes[h].ID
+		}
+	}
+	return out
+}
+
+// Run executes one trading day for every coalition concurrently over shared
+// infrastructure and settles the residuals. A failing coalition fails alone:
+// its siblings in flight drain normally, unlaunched coalitions are skipped,
+// and the returned GridResult carries per-coalition outcomes (with Err set
+// on the failed and skipped ones) alongside the earliest failure, so a
+// partial day is still observable.
+func (g *Grid) Run(ctx context.Context) (*GridResult, error) {
+	res, err := grid.Run(ctx, grid.Config{
+		Engine:        g.cfg.Market.coreConfig(),
+		MaxConcurrent: g.cfg.MaxConcurrentCoalitions,
+	}, g.trace, g.parts)
+	if err != nil {
+		return res, fmt.Errorf("pem: %w", err)
+	}
+	return res, nil
+}

@@ -88,6 +88,12 @@ type Config struct {
 	// (log-depth binary reduction — each partial sum stays encrypted under
 	// the sink's key, so the leakage profile is unchanged).
 	Aggregation string
+	// Namespace scopes every window tag this engine emits under an extra
+	// transport namespace (see transport.ScopedWindowTag). Empty for solo
+	// engines; a coalition grid gives each engine a distinct namespace so
+	// concurrent coalitions sharing one bus can reuse window numbers
+	// without cross-talk and keep disjoint byte accounting.
+	Namespace string
 	// Seed, when non-nil, makes the whole engine deterministic: party
 	// randomness is derived from it. Production deployments leave it nil
 	// (crypto/rand).
@@ -145,6 +151,9 @@ func (c Config) Validate() error {
 	if c.Aggregation != AggregationRing && c.Aggregation != AggregationTree {
 		return fmt.Errorf("core: unknown aggregation topology %q", c.Aggregation)
 	}
+	if c.Namespace != "" && !transport.ValidScope(c.Namespace) {
+		return fmt.Errorf("core: invalid namespace %q (letters, digits, '.', '_', '-'; not a w<n> window prefix)", c.Namespace)
+	}
 	return c.Params.Validate()
 }
 
@@ -157,9 +166,17 @@ func (c Config) Validate() error {
 // it owns the per-party sessions and their lifecycle. Window execution goes
 // through the scheduler (scheduler.go), which runs up to
 // Config.MaxInflightWindows windows concurrently.
+//
+// An engine does not necessarily own its heavyweight infrastructure: it
+// *borrows* the transport bus and the crypto worker pool when a caller
+// provides them (see Resources and NewEngineWith), which is how a coalition
+// grid runs many engines over one bus and one bounded pool. The engine
+// always holds its own reference on the pool and releases it on Close, so
+// shared and solo lifecycles go through the same code path.
 type Engine struct {
 	cfg     Config
 	bus     *transport.Bus
+	workers *paillier.Workers
 	parties []*Party
 	agents  []market.Agent
 
@@ -171,8 +188,31 @@ type Engine struct {
 // ErrEngineClosed is returned for windows scheduled after Close.
 var ErrEngineClosed = errors.New("core: engine closed")
 
-// NewEngine provisions keys and transport endpoints for the agents.
+// Resources are the shared infrastructure an engine can borrow instead of
+// provisioning its own. Zero-value fields mean "own it": a nil Bus gives
+// the engine a private in-memory bus, a nil Workers a private crypto pool.
+type Resources struct {
+	// Bus is the transport connecting this engine's parties. When shared by
+	// several engines, each engine must have a distinct Config.Namespace
+	// (enforced implicitly by party registration: rosters must be disjoint)
+	// and registers only its own parties.
+	Bus *transport.Bus
+	// Workers is the bounded batch-crypto pool. The engine retains its own
+	// reference and releases it on Close, so a caller sharing one pool
+	// across engines keeps its reference alive independently.
+	Workers *paillier.Workers
+}
+
+// NewEngine provisions keys and transport endpoints for the agents, owning
+// all of its infrastructure — the solo-market configuration.
 func NewEngine(cfg Config, agents []market.Agent) (*Engine, error) {
+	return NewEngineWith(cfg, agents, Resources{})
+}
+
+// NewEngineWith provisions keys for the agents over the given shared
+// resources. It is the constructor behind a coalition grid: many engines,
+// one bus, one crypto pool, disjoint rosters and namespaces.
+func NewEngineWith(cfg Config, agents []market.Agent, res Resources) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -191,27 +231,44 @@ func NewEngine(cfg Config, agents []market.Agent) (*Engine, error) {
 		seen[a.ID] = true
 	}
 
+	bus := res.Bus
+	if bus == nil {
+		bus = transport.NewBus(nil)
+	}
 	e := &Engine{
 		cfg:    cfg,
-		bus:    transport.NewBus(nil),
+		bus:    bus,
 		agents: append([]market.Agent(nil), agents...),
 	}
 
-	// Key generation, parallelized across agents (each agent generates its
-	// own key pair in Protocol 1 line 2).
+	// One crypto worker pool for the whole fleet: key generation,
+	// intra-window parallel decryption and batch scalar multiplication all
+	// run across it, so total CPU parallelism stays bounded by the pool
+	// size. A borrowed pool is additionally shared with sibling engines —
+	// many coalitions provisioning at once still generate keys at the
+	// pool's pace, not len(agents)×coalitions goroutines. The engine's own
+	// reference is dropped by Close.
+	if res.Workers != nil {
+		e.workers = res.Workers.Retain()
+	} else {
+		e.workers = paillier.NewWorkers(cfg.CryptoWorkers)
+	}
+
+	// Key generation (each agent generates its own key pair in Protocol 1
+	// line 2), parallelized across agents through the shared pool.
 	keys := make([]*paillier.PrivateKey, len(agents))
 	keyErr := make([]error, len(agents))
 	var wg sync.WaitGroup
 	for i := range agents {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+		i := i
+		e.workers.Go(&wg, func() {
 			keys[i], keyErr[i] = paillier.GenerateKey(partyRandom(cfg, agents[i].ID, "keygen"), cfg.KeyBits)
-		}(i)
+		})
 	}
 	wg.Wait()
 	for i, err := range keyErr {
 		if err != nil {
+			e.workers.Release()
 			return nil, fmt.Errorf("core: keygen for %s: %w", agents[i].ID, err)
 		}
 	}
@@ -220,20 +277,30 @@ func NewEngine(cfg Config, agents []market.Agent) (*Engine, error) {
 	for i, a := range agents {
 		dir[a.ID] = &keys[i].PublicKey
 	}
-
-	// One crypto worker pool for the whole fleet: intra-window parallel
-	// decryption shares it across parties and in-flight windows, so total
-	// CPU parallelism stays bounded by CryptoWorkers.
-	workers := paillier.NewWorkers(cfg.CryptoWorkers)
 	e.parties = make([]*Party, len(agents))
 	for i, a := range agents {
-		conn, err := e.bus.Register(a.ID)
+		conn, err := bus.Register(a.ID)
 		if err != nil {
+			e.releaseParties()
 			return nil, err
 		}
-		e.parties[i] = newParty(cfg, a, conn, keys[i], dir, workers)
+		e.parties[i] = newParty(cfg, a, conn, keys[i], dir, e.workers)
 	}
 	return e, nil
+}
+
+// releaseParties unwinds a partially-constructed or closing engine: it
+// deregisters the engine's endpoints from the (possibly shared) bus, stops
+// the pre-encryption pools and drops the engine's worker-pool reference.
+func (e *Engine) releaseParties() {
+	for _, p := range e.parties {
+		if p == nil {
+			continue
+		}
+		p.closePools()
+		p.conn.Close()
+	}
+	e.workers.Release()
 }
 
 // partyRandom derives a per-party randomness source: crypto/rand in
@@ -284,8 +351,10 @@ func (e *Engine) endWindow() { e.inflight.Done() }
 
 // Close shuts the session layer down: it stops admitting new windows,
 // drains the ones in flight (their parties keep their nonce pools until
-// they finish), and only then releases the pre-encryption pools. Close is
-// idempotent and safe to call concurrently with running windows.
+// they finish), and only then releases the pre-encryption pools, the
+// engine's transport endpoints (deregistering them from a shared bus) and
+// its reference on the crypto worker pool. Close is idempotent and safe to
+// call concurrently with running windows.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -296,9 +365,7 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.mu.Unlock()
 	e.inflight.Wait()
-	for _, p := range e.parties {
-		p.closePools()
-	}
+	e.releaseParties()
 }
 
 // WindowResult is the public outcome of one trading window, as observed by
@@ -334,7 +401,7 @@ func (e *Engine) runOne(ctx context.Context, window int, inputs []market.WindowI
 	if len(inputs) != len(e.parties) {
 		return nil, fmt.Errorf("core: %d inputs for %d parties", len(inputs), len(e.parties))
 	}
-	startBytes := e.bus.Metrics().WindowBytes(window)
+	startBytes := e.bus.Metrics().ScopedWindowBytes(e.cfg.Namespace, window)
 	start := time.Now()
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -366,7 +433,7 @@ func (e *Engine) runOne(ctx context.Context, window int, inputs []market.WindowI
 	res := &WindowResult{
 		Window:      window,
 		Duration:    time.Since(start),
-		BytesOnWire: e.bus.Metrics().WindowBytes(window) - startBytes,
+		BytesOnWire: e.bus.Metrics().ScopedWindowBytes(e.cfg.Namespace, window) - startBytes,
 	}
 	// All parties observed the same public outcome; adopt the first
 	// report and cross-check the rest.

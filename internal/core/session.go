@@ -118,7 +118,12 @@ func (p *Party) closePools() {
 	p.pools = make(map[string]*paillier.NoncePool)
 }
 
-// Close releases the standalone party's background resources. Parties
-// inside an Engine are closed by Engine.Close, which first drains in-flight
-// windows.
-func (p *Party) Close() { p.closePools() }
+// Close releases the standalone party's background resources, including
+// its reference on the crypto worker pool (a standalone party owns its
+// pool). Parties inside an Engine are closed by Engine.Close, which first
+// drains in-flight windows and then drops the engine's single pool
+// reference — so Close must not be called on engine parties.
+func (p *Party) Close() {
+	p.closePools()
+	p.workers.Release()
+}

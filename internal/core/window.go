@@ -95,9 +95,11 @@ type windowRun struct {
 	encTotal   *paillier.Ciphertext
 }
 
-// tag scopes a message tag under this window's transport namespace.
+// tag scopes a message tag under this window's transport namespace — and,
+// for engines inside a coalition grid, under the engine's coalition
+// namespace on top of it.
 func (r *windowRun) tag(parts string) string {
-	return transport.WindowTag(r.window, parts)
+	return transport.ScopedWindowTag(r.cfg.Namespace, r.window, parts)
 }
 
 // runWindow is Protocol 1 from one party's perspective.

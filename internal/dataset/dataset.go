@@ -50,6 +50,12 @@ type Config struct {
 	SolarCapMinKW float64
 	SolarCapMaxKW float64
 
+	// CloudFloor/CloudCeil bound the AR(1) cloud-attenuation process
+	// (defaults 0.25 and 1.0). A scenario preset narrows the band: an
+	// overcast day lives near the floor, a clear one near the ceiling.
+	CloudFloor float64
+	CloudCeil  float64
+
 	// SolarFraction is the share of homes with panels (default 0.85).
 	// Panel-less homes remain buyers all day, which keeps the buyer
 	// coalition populated through the midday surplus — the Fig. 4 shape —
@@ -75,8 +81,19 @@ type Config struct {
 	EpsilonMax float64
 
 	// BatteryFraction of homes have a battery (default 0.3); capacities
-	// are drawn in [2, 10] kWh.
-	BatteryFraction float64
+	// are drawn in [BatteryCapMinKWh, BatteryCapMaxKWh] (defaults 2 and
+	// 10 kWh).
+	BatteryFraction  float64
+	BatteryCapMinKWh float64
+	BatteryCapMaxKWh float64
+
+	// IDPrefix prefixes home IDs (default "home-"); fleet synthesis gives
+	// each coalition its own prefix so IDs stay unique fleet-wide.
+	IDPrefix string
+
+	// Scenario labels the homes generated under this config (informational;
+	// see the scenario presets in fleet.go).
+	Scenario Scenario
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +136,21 @@ func (c Config) withDefaults() Config {
 	if c.BatteryFraction == 0 {
 		c.BatteryFraction = 0.3
 	}
+	if c.CloudFloor == 0 {
+		c.CloudFloor = 0.25
+	}
+	if c.CloudCeil == 0 {
+		c.CloudCeil = 1
+	}
+	if c.BatteryCapMinKWh == 0 {
+		c.BatteryCapMinKWh = 2
+	}
+	if c.BatteryCapMaxKWh == 0 {
+		c.BatteryCapMaxKWh = 10
+	}
+	if c.IDPrefix == "" {
+		c.IDPrefix = "home-"
+	}
 	return c
 }
 
@@ -130,10 +162,18 @@ func (c Config) Validate() error {
 	if c.Windows <= 0 {
 		return errors.New("dataset: Windows must be positive")
 	}
+	if c.CloudFloor < 0 || c.CloudFloor > c.CloudCeil || c.CloudCeil > 1 {
+		return fmt.Errorf("dataset: cloud band [%v, %v] outside 0 ≤ floor ≤ ceil ≤ 1", c.CloudFloor, c.CloudCeil)
+	}
+	if c.BatteryCapMinKWh > c.BatteryCapMaxKWh {
+		return fmt.Errorf("dataset: battery capacity band [%v, %v] inverted", c.BatteryCapMinKWh, c.BatteryCapMaxKWh)
+	}
 	return nil
 }
 
-// Home describes one smart home's static parameters.
+// Home describes one smart home's static parameters. The first five fields
+// are public metadata (a grid partitioner may read them; see internal/grid);
+// the per-window trace data stays private to the protocols.
 type Home struct {
 	ID            string
 	SolarCapKW    float64
@@ -141,7 +181,16 @@ type Home struct {
 	K             float64
 	Epsilon       float64
 	BatteryCapKWh float64
+	// Scenario is the weather/equipment preset the home was synthesized
+	// under (empty for plain Generate calls).
+	Scenario Scenario
 }
+
+// NetCapacityKW is the home's public production-minus-baseload rating — the
+// only net-balance signal a privacy-preserving partitioner is allowed to
+// use (panel nameplate and contracted base load are public; actual
+// generation and load are not).
+func (h Home) NetCapacityKW() float64 { return h.SolarCapKW - h.BaseLoadKW }
 
 // Trace is a full day of per-window data for a fleet of homes.
 type Trace struct {
@@ -174,16 +223,17 @@ func Generate(cfg Config) (*Trace, error) {
 
 	for h := 0; h < cfg.Homes; h++ {
 		home := Home{
-			ID:         fmt.Sprintf("home-%03d", h),
+			ID:         fmt.Sprintf("%s%03d", cfg.IDPrefix, h),
 			BaseLoadKW: uniform(rng, cfg.BaseLoadMinKW, cfg.BaseLoadMaxKW),
 			K:          uniform(rng, cfg.KMin, cfg.KMax),
 			Epsilon:    uniform(rng, cfg.EpsilonMin, cfg.EpsilonMax),
+			Scenario:   cfg.Scenario,
 		}
 		if rng.Float64() < cfg.SolarFraction {
 			home.SolarCapKW = uniform(rng, cfg.SolarCapMinKW, cfg.SolarCapMaxKW)
 		}
 		if rng.Float64() < cfg.BatteryFraction {
-			home.BatteryCapKWh = uniform(rng, 2, 10)
+			home.BatteryCapKWh = uniform(rng, cfg.BatteryCapMinKWh, cfg.BatteryCapMaxKWh)
 		}
 		tr.Homes[h] = home
 
@@ -191,8 +241,10 @@ func Generate(cfg Config) (*Trace, error) {
 		load := make([]float64, cfg.Windows)
 		batt := make([]float64, cfg.Windows)
 
-		// AR(1) cloud attenuation in [0.25, 1].
-		cloud := 0.6 + rng.Float64()*0.4
+		// AR(1) cloud attenuation in [CloudFloor, CloudCeil], starting in
+		// the upper part of the band.
+		cloudBand := cfg.CloudCeil - cfg.CloudFloor
+		cloud := cfg.CloudFloor + cloudBand*(0.6+0.4*rng.Float64())
 		// Morning/evening load peaks with per-home jitter.
 		morning := 7.5 + rng.NormFloat64()*0.4
 		evening := 18.2 + rng.NormFloat64()*0.5
@@ -209,7 +261,7 @@ func Generate(cfg Config) (*Trace, error) {
 				frac := (hour - cfg.SunriseHour) / (cfg.SunsetHour - cfg.SunriseHour)
 				sunKW = home.SolarCapKW * math.Pow(math.Sin(math.Pi*frac), 1.4)
 			}
-			cloud = clamp(0.92*cloud+0.08*(0.25+0.75*rng.Float64()), 0.25, 1)
+			cloud = clamp(0.92*cloud+0.08*(cfg.CloudFloor+cloudBand*rng.Float64()), cfg.CloudFloor, cfg.CloudCeil)
 			genKW := sunKW * cloud
 
 			// Load: base + peaks + noise, never negative.
@@ -294,6 +346,39 @@ func (t *Trace) WindowInputs(w int) ([]market.WindowInput, error) {
 		}
 	}
 	return out, nil
+}
+
+// Select returns a trace restricted to the listed home indices, in the
+// given order (sharing the underlying per-home slices; do not mutate). It
+// is how a coalition grid carves one fleet trace into per-coalition
+// traces.
+func (t *Trace) Select(indices []int) (*Trace, error) {
+	if len(indices) == 0 {
+		return nil, errors.New("dataset: empty home selection")
+	}
+	sub := &Trace{
+		Homes:     make([]Home, len(indices)),
+		Windows:   t.Windows,
+		StartHour: t.StartHour,
+		Gen:       make([][]float64, len(indices)),
+		Load:      make([][]float64, len(indices)),
+		Battery:   make([][]float64, len(indices)),
+	}
+	seen := make(map[int]bool, len(indices))
+	for i, h := range indices {
+		if h < 0 || h >= len(t.Homes) {
+			return nil, fmt.Errorf("dataset: home index %d out of range [0,%d)", h, len(t.Homes))
+		}
+		if seen[h] {
+			return nil, fmt.Errorf("dataset: home index %d selected twice", h)
+		}
+		seen[h] = true
+		sub.Homes[i] = t.Homes[h]
+		sub.Gen[i] = t.Gen[h]
+		sub.Load[i] = t.Load[h]
+		sub.Battery[i] = t.Battery[h]
+	}
+	return sub, nil
 }
 
 // Subset returns a trace restricted to the first n homes (sharing the

@@ -35,7 +35,7 @@ func Scenarios() []Scenario {
 
 // ScenarioConfig returns a generator config for the preset.
 func ScenarioConfig(s Scenario, homes, windows int, seed int64) (Config, error) {
-	cfg := Config{Homes: homes, Windows: windows, Seed: seed}
+	cfg := Config{Homes: homes, Windows: windows, Seed: seed, Scenario: s}
 	switch s {
 	case ScenarioBase, "":
 		// Defaults.
@@ -45,12 +45,15 @@ func ScenarioConfig(s Scenario, homes, windows int, seed int64) (Config, error) 
 		cfg.BaseLoadMinKW = 0.2
 		cfg.BaseLoadMaxKW = 0.8
 		cfg.SolarFraction = 0.999 // effectively everyone has panels
+		cfg.CloudFloor = 0.7     // clear sky: attenuation stays high
 	case ScenarioOvercast:
 		cfg.SolarCapMinKW = 0.8
 		cfg.SolarCapMaxKW = 2.5
 		cfg.BaseLoadMinKW = 0.7
 		cfg.BaseLoadMaxKW = 2.0
 		cfg.SolarFraction = 0.7
+		cfg.CloudFloor = 0.15 // heavy deck: attenuation pinned low
+		cfg.CloudCeil = 0.45
 	case ScenarioWinter:
 		cfg.SunriseHour = 8.2
 		cfg.SunsetHour = 16.8
@@ -58,8 +61,11 @@ func ScenarioConfig(s Scenario, homes, windows int, seed int64) (Config, error) 
 		cfg.SolarCapMaxKW = 6
 		cfg.BaseLoadMinKW = 0.6
 		cfg.BaseLoadMaxKW = 1.8
+		cfg.CloudCeil = 0.75 // low sun never reaches clear-sky yield
 	case ScenarioStorageHeavy:
 		cfg.BatteryFraction = 0.95
+		cfg.BatteryCapMinKWh = 6
+		cfg.BatteryCapMaxKWh = 16
 	default:
 		return Config{}, &UnknownScenarioError{Scenario: s}
 	}

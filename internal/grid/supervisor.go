@@ -1,0 +1,247 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pem-go/pem/internal/core"
+	"github.com/pem-go/pem/internal/dataset"
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/transport"
+)
+
+// Config configures a grid run.
+type Config struct {
+	// Engine is the per-coalition protocol configuration. Namespace is
+	// managed by the supervisor (each coalition gets its own); setting it
+	// here is an error. A non-nil Seed makes every coalition's outcome
+	// bit-identical regardless of coalition concurrency, partition held
+	// fixed.
+	Engine core.Config
+	// MaxConcurrent is the global in-flight budget: how many coalition-days
+	// run concurrently (default: all of them). Each in-flight coalition may
+	// additionally pipeline Engine.MaxInflightWindows windows internally;
+	// crypto parallelism stays bounded by the one shared worker pool either
+	// way.
+	MaxConcurrent int
+}
+
+// CoalitionRun is the outcome of one coalition's trading day.
+type CoalitionRun struct {
+	// Name is the coalition's supervisor-assigned identifier ("c00", …),
+	// which is also its transport tag namespace.
+	Name string
+	// Members are the coalition's home indices into the fleet trace.
+	Members []int
+	// IDs are the members' agent IDs.
+	IDs []string
+	// Results holds the per-window protocol outcomes (nil on failure).
+	Results []*core.WindowResult
+	// Residual is the coalition's day-aggregate unmatched energy, computed
+	// from the plaintext oracle clearing exactly like the trading-
+	// performance figures (the private protocols reveal neither side).
+	Residual market.CoalitionResidual
+	// Bytes is the coalition's protocol traffic on the shared bus.
+	Bytes int64
+	// Duration is the coalition-day wall-clock time (engine provisioning
+	// included).
+	Duration time.Duration
+	// Err is the coalition's failure, nil on success. ErrCoalitionSkipped
+	// marks coalitions never launched because an earlier one failed.
+	Err error
+}
+
+// ErrCoalitionSkipped marks coalitions not launched because the supervisor
+// stopped admitting work after an earlier coalition failed.
+var ErrCoalitionSkipped = errors.New("grid: coalition skipped after earlier failure")
+
+// Result is the outcome of a full grid run.
+type Result struct {
+	// Coalitions holds one entry per partition element, in partition order.
+	Coalitions []CoalitionRun
+	// Settlement clears the completed coalitions' residuals against the
+	// grid tariff (nil when no coalition completed).
+	Settlement *market.GridSettlement
+	// Windows counts completed trading windows across all coalitions.
+	Windows int
+	// Duration is the whole run's wall-clock time.
+	Duration time.Duration
+	// TotalBytes is the fleet's protocol traffic.
+	TotalBytes int64
+	// WindowsPerSec is the aggregate throughput: Windows / Duration.
+	WindowsPerSec float64
+}
+
+// Run executes one trading day for every coalition of the partition over
+// shared infrastructure. Failure semantics mirror the window scheduler's:
+// a failing coalition cancels only itself; the supervisor then stops
+// launching new coalitions, drains the ones in flight, and reports the
+// earliest failed coalition's error. Completed coalitions keep their
+// results, and the returned Result is valid (with per-coalition Err set)
+// even when err is non-nil.
+func Run(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("grid: empty partition")
+	}
+	if cfg.Engine.Namespace != "" {
+		return nil, fmt.Errorf("grid: Engine.Namespace %q is supervisor-managed; leave it empty", cfg.Engine.Namespace)
+	}
+	if cfg.MaxConcurrent < 0 {
+		return nil, fmt.Errorf("grid: negative MaxConcurrent %d", cfg.MaxConcurrent)
+	}
+	maxConc := cfg.MaxConcurrent
+	if maxConc == 0 || maxConc > len(parts) {
+		maxConc = len(parts)
+	}
+	params := cfg.Engine.Params
+	if params == (market.Params{}) {
+		params = market.DefaultParams()
+	}
+
+	// The shared infrastructure: one bus, one bounded crypto pool. Every
+	// engine retains its own pool reference; the supervisor's reference is
+	// dropped on return, so the pool retires exactly when the last engine
+	// closes.
+	bus := transport.NewBus(nil)
+	workers := paillier.NewWorkers(cfg.Engine.CryptoWorkers)
+	defer workers.Release()
+
+	start := time.Now()
+	res := &Result{Coalitions: make([]CoalitionRun, len(parts))}
+
+	var (
+		mu     sync.Mutex
+		failed bool
+		wg     sync.WaitGroup
+	)
+	sem := make(chan struct{}, maxConc)
+	for i, members := range parts {
+		res.Coalitions[i] = CoalitionRun{
+			Name:    fmt.Sprintf("c%02d", i),
+			Members: append([]int(nil), members...),
+		}
+
+		sem <- struct{}{}
+		mu.Lock()
+		stop := failed
+		mu.Unlock()
+		if stop || ctx.Err() != nil {
+			<-sem
+			for j := i; j < len(parts); j++ {
+				res.Coalitions[j].Name = fmt.Sprintf("c%02d", j)
+				res.Coalitions[j].Members = append([]int(nil), parts[j]...)
+				res.Coalitions[j].Err = ErrCoalitionSkipped
+			}
+			break
+		}
+		wg.Add(1)
+		go func(cr *CoalitionRun) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			runCoalition(ctx, cfg, bus, workers, tr, params, cr)
+			if cr.Err != nil {
+				mu.Lock()
+				failed = true
+				mu.Unlock()
+			}
+		}(&res.Coalitions[i])
+	}
+	wg.Wait()
+
+	res.Duration = time.Since(start)
+	var residuals []market.CoalitionResidual
+	var firstErr error
+	for i := range res.Coalitions {
+		cr := &res.Coalitions[i]
+		if cr.Err != nil {
+			// Skip markers are bookkeeping, not failures: launches stop both
+			// after a genuine coalition failure (which, having launched
+			// earlier, always precedes the skipped indices and is reported
+			// here) and on context cancellation (reported via ctx.Err below,
+			// so callers can distinguish a clean cancel).
+			if firstErr == nil && !errors.Is(cr.Err, ErrCoalitionSkipped) {
+				firstErr = fmt.Errorf("grid: coalition %s: %w", cr.Name, cr.Err)
+			}
+			continue
+		}
+		res.Windows += len(cr.Results)
+		res.TotalBytes += cr.Bytes
+		residuals = append(residuals, cr.Residual)
+	}
+	if len(residuals) > 0 {
+		settlement, err := market.SettleResiduals(residuals, params)
+		if err != nil {
+			return res, fmt.Errorf("grid: settlement: %w", err)
+		}
+		res.Settlement = settlement
+	}
+	if res.Duration > 0 {
+		res.WindowsPerSec = float64(res.Windows) / res.Duration.Seconds()
+	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return res, firstErr
+}
+
+// runCoalition executes one coalition's day: provision an engine over the
+// shared resources, run every window through it, and fold the plaintext
+// oracle's residuals. All outcomes land in cr.
+func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *paillier.Workers, tr *dataset.Trace, params market.Params, cr *CoalitionRun) {
+	begin := time.Now()
+	defer func() { cr.Duration = time.Since(begin) }()
+
+	sub, err := tr.Select(cr.Members)
+	if err != nil {
+		cr.Err = err
+		return
+	}
+	agents := sub.Agents()
+	cr.IDs = make([]string, len(agents))
+	for i, a := range agents {
+		cr.IDs[i] = a.ID
+	}
+
+	jobs := make([]core.WindowJob, sub.Windows)
+	for w := 0; w < sub.Windows; w++ {
+		inputs, err := sub.WindowInputs(w)
+		if err != nil {
+			cr.Err = err
+			return
+		}
+		jobs[w] = core.WindowJob{Window: w, Inputs: inputs}
+	}
+
+	ecfg := cfg.Engine
+	ecfg.Namespace = cr.Name
+	eng, err := core.NewEngineWith(ecfg, agents, core.Resources{Bus: bus, Workers: workers})
+	if err != nil {
+		cr.Err = fmt.Errorf("provision: %w", err)
+		return
+	}
+	defer eng.Close()
+
+	results, err := eng.RunWindows(ctx, jobs)
+	if err != nil {
+		cr.Err = err
+		return
+	}
+	cr.Results = results
+	cr.Bytes = bus.Metrics().ScopeBytes(cr.Name)
+
+	cr.Residual = market.CoalitionResidual{Coalition: cr.Name}
+	for w := 0; w < sub.Windows; w++ {
+		clr, err := market.Clear(agents, jobs[w].Inputs, params)
+		if err != nil {
+			cr.Err = fmt.Errorf("oracle window %d: %w", w, err)
+			return
+		}
+		imp, exp := market.ResidualFromClearing(clr)
+		cr.Residual.ImportKWh += imp
+		cr.Residual.ExportKWh += exp
+	}
+}

@@ -2,16 +2,26 @@ package transport
 
 import "sync"
 
+// windowKey attributes traffic to one window of one scope (coalition). The
+// empty scope is the solo-engine namespace of PR 1's WindowTag scheme.
+type windowKey struct {
+	scope  string
+	window int
+}
+
 // Metrics accumulates per-party traffic counters. It feeds the Table I
 // bandwidth experiment ("average bandwidth over m trading windows of all
 // the smart homes"). Messages whose tag carries a window namespace (see
-// WindowTag) are additionally attributed to that window, so that windows
-// executing concurrently still get exact per-window byte accounting.
+// WindowTag and ScopedWindowTag) are additionally attributed to that
+// (scope, window) pair, so that windows executing concurrently — including
+// same-numbered windows of different coalitions sharing one bus — still get
+// exact per-window byte accounting.
 type Metrics struct {
 	mu      sync.Mutex
 	bytes   map[string]int64
 	msgs    map[string]int64
-	windowB map[int]int64
+	windowB map[windowKey]int64
+	scopeB  map[string]int64
 	totalB  int64
 	totalM  int64
 }
@@ -21,7 +31,8 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		bytes:   make(map[string]int64),
 		msgs:    make(map[string]int64),
-		windowB: make(map[int]int64),
+		windowB: make(map[windowKey]int64),
+		scopeB:  make(map[string]int64),
 	}
 }
 
@@ -30,21 +41,37 @@ func (m *Metrics) recordSend(party, tag string, n int) {
 	defer m.mu.Unlock()
 	m.bytes[party] += int64(n)
 	m.msgs[party]++
-	if w, _, ok := ParseWindowTag(tag); ok {
-		m.windowB[w] += int64(n)
+	if scope, w, _, ok := ParseScopedWindowTag(tag); ok {
+		m.windowB[windowKey{scope: scope, window: w}] += int64(n)
+		m.scopeB[scope] += int64(n)
 	}
 	m.totalB += int64(n)
 	m.totalM++
 }
 
 // WindowBytes returns the bytes sent so far within one window's tag
-// namespace, across all parties. Re-running the same window number on the
-// same sink accumulates; callers that need a per-run figure should diff
-// before/after values.
+// namespace (unscoped form), across all parties. Re-running the same window
+// number on the same sink accumulates; callers that need a per-run figure
+// should diff before/after values.
 func (m *Metrics) WindowBytes(window int) int64 {
+	return m.ScopedWindowBytes("", window)
+}
+
+// ScopedWindowBytes returns the bytes sent within one window of one scope.
+// The empty scope reads the unscoped (solo-engine) namespace.
+func (m *Metrics) ScopedWindowBytes(scope string, window int) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.windowB[window]
+	return m.windowB[windowKey{scope: scope, window: window}]
+}
+
+// ScopeBytes returns the total window-tagged bytes sent under one scope —
+// one coalition's protocol traffic on a shared bus. The empty scope covers
+// solo-engine traffic.
+func (m *Metrics) ScopeBytes(scope string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scopeB[scope]
 }
 
 // TotalBytes returns the total bytes sent across all parties.
@@ -85,7 +112,8 @@ func (m *Metrics) Reset() {
 	defer m.mu.Unlock()
 	m.bytes = make(map[string]int64)
 	m.msgs = make(map[string]int64)
-	m.windowB = make(map[int]int64)
+	m.windowB = make(map[windowKey]int64)
+	m.scopeB = make(map[string]int64)
 	m.totalB = 0
 	m.totalM = 0
 }

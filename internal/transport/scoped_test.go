@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"context"
+	"testing"
+)
+
+func TestScopedWindowTagRoundTrip(t *testing.T) {
+	cases := []struct {
+		scope  string
+		window int
+		tag    string
+	}{
+		{"", 0, "role"},
+		{"", 41, "pme/rb"},
+		{"c0", 0, "role"},
+		{"c17", 311, "pd/ratios"},
+		{"shard-2.east", 5, "pp/ring"},
+	}
+	for _, c := range cases {
+		full := ScopedWindowTag(c.scope, c.window, c.tag)
+		scope, w, rest, ok := ParseScopedWindowTag(full)
+		if !ok || scope != c.scope || w != c.window || rest != c.tag {
+			t.Errorf("round trip %+v -> %q -> (%q, %d, %q, %v)", c, full, scope, w, rest, ok)
+		}
+	}
+	// The unscoped form must be byte-identical to PR 1's WindowTag, so solo
+	// engines keep their wire format.
+	if got, want := ScopedWindowTag("", 7, "role"), WindowTag(7, "role"); got != want {
+		t.Errorf("empty scope tag = %q, want %q", got, want)
+	}
+	for _, bad := range []string{"keys/paillier", "role", "c3/role", "c3/wx/role", "/w1/role", "a b/w1/role", "w2/w1/role"} {
+		if scope, w, rest, ok := ParseScopedWindowTag(bad); ok && scope != "" {
+			t.Errorf("ParseScopedWindowTag accepted %q as scoped (%q, %d, %q)", bad, scope, w, rest)
+		}
+	}
+}
+
+func TestValidScope(t *testing.T) {
+	for _, good := range []string{"c0", "c17", "grid", "shard-2.east", "A_9"} {
+		if !ValidScope(good) {
+			t.Errorf("ValidScope(%q) = false", good)
+		}
+	}
+	// "w<n>" shapes collide with the window namespace; separators and
+	// spaces would break tag parsing.
+	for _, bad := range []string{"", "w0", "w17", "a/b", "a b", "ü"} {
+		if ValidScope(bad) {
+			t.Errorf("ValidScope(%q) = true", bad)
+		}
+	}
+	// "w" followed by non-digits is a fine scope.
+	if !ValidScope("west") || !ValidScope("w2x") {
+		t.Error("ValidScope rejected w-prefixed non-window scopes")
+	}
+}
+
+// TestScopedMetricsIsolation is the accounting half of the coalition
+// namespace guarantee: two coalitions running the same window number over
+// one bus keep disjoint byte counters.
+func TestScopedMetricsIsolation(t *testing.T) {
+	bus := NewBus(nil)
+	a := bus.MustRegister("a")
+	bus.MustRegister("b")
+	ctx := context.Background()
+
+	send := func(tag string, n int) {
+		t.Helper()
+		if err := a.Send(ctx, "b", tag, make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(ScopedWindowTag("c0", 3, "role"), 100)
+	send(ScopedWindowTag("c1", 3, "role"), 1000)
+	send(WindowTag(3, "role"), 10)
+	send("keys/paillier", 7) // session-scoped: counted only in totals
+
+	m := bus.Metrics()
+	w0 := m.ScopedWindowBytes("c0", 3)
+	w1 := m.ScopedWindowBytes("c1", 3)
+	solo := m.WindowBytes(3)
+	if w0 == 0 || w1 == 0 || solo == 0 {
+		t.Fatalf("missing attribution: c0=%d c1=%d solo=%d", w0, w1, solo)
+	}
+	if w1-w0 != 900 || w0-solo != int64(90+len("c0/")) {
+		t.Errorf("cross-scope counters mixed: c0=%d c1=%d solo=%d", w0, w1, solo)
+	}
+	if got := m.ScopeBytes("c0"); got != w0 {
+		t.Errorf("ScopeBytes(c0) = %d, want %d", got, w0)
+	}
+	if got := m.ScopeBytes(""); got != solo {
+		t.Errorf("ScopeBytes(\"\") = %d, want %d", got, solo)
+	}
+	if m.TotalBytes() <= w0+w1+solo {
+		t.Errorf("total %d should also include session traffic", m.TotalBytes())
+	}
+}
+
+// TestScopedMailboxIsolation checks the demultiplexing half: same (from,
+// window, tag) in two scopes lands in two distinct queues.
+func TestScopedMailboxIsolation(t *testing.T) {
+	bus := NewBus(nil)
+	a := bus.MustRegister("a")
+	b := bus.MustRegister("b")
+	ctx := context.Background()
+
+	if err := a.Send(ctx, "b", ScopedWindowTag("c1", 0, "role"), []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, "b", ScopedWindowTag("c0", 0, "role"), []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(ctx, "a", ScopedWindowTag("c0", 0, "role"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 {
+		t.Fatalf("scope c0 received scope c1's message: %v", got)
+	}
+}

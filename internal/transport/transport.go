@@ -51,6 +51,68 @@ func ParseWindowTag(tag string) (window int, rest string, ok bool) {
 	return w, tag[slash+1:], true
 }
 
+// ScopedWindowTag nests a window tag under an additional scope namespace,
+// producing "<scope>/w<window>/<tag>" — the coalition-grid extension of the
+// WindowTag scheme. Concurrent coalitions over one shared bus reuse window
+// numbers freely: the scope prefix keeps their (from, tag) demultiplexing
+// keys — and their per-window byte accounting — disjoint even if a party ID
+// ever appeared in two rosters. An empty scope degrades to WindowTag, so
+// solo engines stay on the PR 1 wire format unchanged.
+//
+// Scopes must satisfy ValidScope (in particular they may not themselves
+// look like a "w<n>" window prefix, which would make parsing ambiguous).
+func ScopedWindowTag(scope string, window int, tag string) string {
+	if scope == "" {
+		return WindowTag(window, tag)
+	}
+	return scope + "/" + WindowTag(window, tag)
+}
+
+// ParseScopedWindowTag splits a tag of either window-scoped form —
+// "w<k>/<rest>" or "<scope>/w<k>/<rest>" — into its scope (empty for the
+// unscoped form), window number and bare protocol tag. ok is false for
+// session-scoped tags outside any window namespace.
+func ParseScopedWindowTag(tag string) (scope string, window int, rest string, ok bool) {
+	if w, rest, ok := ParseWindowTag(tag); ok {
+		return "", w, rest, true
+	}
+	slash := strings.IndexByte(tag, '/')
+	if slash < 1 {
+		return "", 0, "", false
+	}
+	scope = tag[:slash]
+	if !ValidScope(scope) {
+		return "", 0, "", false
+	}
+	w, rest, ok := ParseWindowTag(tag[slash+1:])
+	if !ok {
+		return "", 0, "", false
+	}
+	return scope, w, rest, true
+}
+
+// ValidScope reports whether s can serve as a tag scope: non-empty, made of
+// letters, digits, '.', '_' and '-', and not of the "w<n>" shape that names
+// a window namespace.
+func ValidScope(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	if _, _, ok := ParseWindowTag(s + "/x"); ok {
+		return false
+	}
+	return true
+}
+
 // Message is a single protocol datagram.
 type Message struct {
 	From    string

@@ -144,13 +144,11 @@ type Market struct {
 	ledger *Ledger
 }
 
-// NewMarket provisions keys and transport for the agents and returns a
-// ready market. Call Close when done.
-func NewMarket(cfg Config, agents []Agent) (*Market, error) {
-	if len(agents) == 0 {
-		return nil, errors.New("pem: no agents")
-	}
-	coreCfg := core.Config{
+// coreConfig lowers the public config to the engine's. It is shared by
+// NewMarket and the coalition grid (which runs one engine per coalition
+// under this same configuration).
+func (cfg Config) coreConfig() core.Config {
+	return core.Config{
 		KeyBits:            cfg.KeyBits,
 		Params:             cfg.Params,
 		UseOTExtension:     cfg.UseOTExtension,
@@ -161,7 +159,15 @@ func NewMarket(cfg Config, agents []Agent) (*Market, error) {
 		CryptoWorkers:      cfg.CryptoWorkers,
 		Aggregation:        cfg.Aggregation,
 	}
-	eng, err := core.NewEngine(coreCfg, agents)
+}
+
+// NewMarket provisions keys and transport for the agents and returns a
+// ready market. Call Close when done.
+func NewMarket(cfg Config, agents []Agent) (*Market, error) {
+	if len(agents) == 0 {
+		return nil, errors.New("pem: no agents")
+	}
+	eng, err := core.NewEngine(cfg.coreConfig(), agents)
 	if err != nil {
 		return nil, fmt.Errorf("pem: %w", err)
 	}

@@ -1,0 +1,184 @@
+package pem_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/pem-go/pem"
+)
+
+func testFleetTrace(t *testing.T, coalitions, homes, windows int) *pem.Trace {
+	t.Helper()
+	tr, err := pem.GenerateFleet(pem.FleetConfig{
+		Coalitions:        coalitions,
+		HomesPerCoalition: homes,
+		Windows:           windows,
+		Seed:              99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestGridPublicAPI(t *testing.T) {
+	tr := testFleetTrace(t, 2, 3, 2)
+	g, err := pem.NewGrid(pem.GridConfig{
+		Market:     pem.Config{KeyBits: 256, Seed: seedPtr(12)},
+		Coalitions: 2,
+		Partition:  pem.PartitionBalanced,
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The partition must cover the fleet exactly once.
+	seen := make(map[string]bool)
+	parts := g.Partition()
+	if len(parts) != 2 {
+		t.Fatalf("%d coalitions, want 2", len(parts))
+	}
+	for _, ids := range parts {
+		if len(ids) != 3 {
+			t.Fatalf("coalition size %d, want 3", len(ids))
+		}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("agent %s in two coalitions", id)
+			}
+			seen[id] = true
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	res, err := g.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Windows != 4 || len(res.Coalitions) != 2 {
+		t.Fatalf("run shape: %d windows, %d coalitions", res.Windows, len(res.Coalitions))
+	}
+
+	// Every coalition's private outcome must match the plaintext oracle
+	// under its mixed scenario (the coalition members come from different
+	// GenerateFleet scenario blocks after balanced partitioning).
+	params := pem.DefaultParams()
+	for i, cr := range res.Coalitions {
+		if cr.Err != nil {
+			t.Fatalf("coalition %s failed: %v", cr.Name, cr.Err)
+		}
+		agents := make([]pem.Agent, 0, len(parts[i]))
+		byID := make(map[string]pem.Agent)
+		for _, a := range tr.Agents() {
+			byID[a.ID] = a
+		}
+		for _, id := range parts[i] {
+			agents = append(agents, byID[id])
+		}
+		for w, winRes := range cr.Results {
+			inputs := make([]pem.WindowInput, len(cr.Members))
+			for j, h := range cr.Members {
+				inputs[j] = pem.WindowInput{
+					Generation: tr.Gen[h][w],
+					Load:       tr.Load[h][w],
+					Battery:    tr.Battery[h][w],
+				}
+			}
+			clr, err := pem.Clear(agents, inputs, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if winRes.Kind != clr.Kind || math.Abs(winRes.Price-clr.Price) > 1e-4 {
+				t.Errorf("%s w%d: kind/price %v/%v, oracle %v/%v",
+					cr.Name, w, winRes.Kind, winRes.Price, clr.Kind, clr.Price)
+			}
+			if len(winRes.Trades) != len(clr.Trades) {
+				t.Errorf("%s w%d: %d trades, oracle %d", cr.Name, w, len(winRes.Trades), len(clr.Trades))
+			}
+		}
+	}
+
+	if res.Settlement == nil || len(res.Settlement.PerCoalition) != 2 {
+		t.Fatalf("settlement missing: %+v", res.Settlement)
+	}
+	fleet := res.Settlement.Fleet
+	if fleet.ImportCost != fleet.ImportKWh*params.GridRetailPrice ||
+		fleet.ExportRevenue != fleet.ExportKWh*params.GridSellPrice {
+		t.Errorf("fleet settlement inconsistent: %+v", fleet)
+	}
+}
+
+// TestGridBitIdenticalAcrossConcurrency is the public acceptance check:
+// with the partition strategy held fixed, a seeded grid run is
+// bit-identical per coalition at any coalition concurrency.
+func TestGridBitIdenticalAcrossConcurrency(t *testing.T) {
+	tr := testFleetTrace(t, 3, 2, 2)
+	run := func(conc int) *pem.GridResult {
+		t.Helper()
+		g, err := pem.NewGrid(pem.GridConfig{
+			Market:                  pem.Config{KeyBits: 256, Seed: seedPtr(8)},
+			Coalitions:              3,
+			Partition:               pem.PartitionFixed,
+			MaxConcurrentCoalitions: conc,
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+		defer cancel()
+		res, err := g.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(1)
+	for _, conc := range []int{2, 3} {
+		res := run(conc)
+		for i := range base.Coalitions {
+			a, b := base.Coalitions[i], res.Coalitions[i]
+			if len(a.Results) != len(b.Results) {
+				t.Fatalf("conc %d: coalition %d window counts differ", conc, i)
+			}
+			for w := range a.Results {
+				ra, rb := a.Results[w], b.Results[w]
+				if ra.Price != rb.Price || ra.PHat != rb.PHat || ra.Kind != rb.Kind ||
+					ra.BytesOnWire != rb.BytesOnWire || len(ra.Trades) != len(rb.Trades) {
+					t.Fatalf("conc %d: coalition %d window %d diverged", conc, i, w)
+				}
+				for k := range ra.Trades {
+					if ra.Trades[k] != rb.Trades[k] {
+						t.Fatalf("conc %d: coalition %d window %d trade %d diverged", conc, i, w, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	tr := testFleetTrace(t, 2, 2, 1)
+	cases := map[string]pem.GridConfig{
+		"no-coalitions":  {Market: pem.Config{KeyBits: 256}},
+		"too-many":       {Market: pem.Config{KeyBits: 256}, Coalitions: 3},
+		"unknown-split":  {Market: pem.Config{KeyBits: 256}, Coalitions: 2, Partition: "zodiac"},
+		"negative-budget": {
+			Market: pem.Config{KeyBits: 256}, Coalitions: 2, MaxConcurrentCoalitions: -1,
+		},
+	}
+	for name, cfg := range cases {
+		g, err := pem.NewGrid(cfg, tr)
+		if err == nil {
+			// MaxConcurrentCoalitions is validated at Run.
+			if _, err = g.Run(context.Background()); err == nil {
+				t.Errorf("%s: accepted", name)
+			}
+		}
+	}
+	if _, err := pem.NewGrid(pem.GridConfig{Coalitions: 1}, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
