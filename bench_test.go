@@ -215,6 +215,41 @@ func BenchmarkCoalitionGrid(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveGrid measures the epoched live grid under churn: several
+// consecutive trading days over one evolving fleet, with per-epoch
+// re-partitioning and coalition re-keying over the shared crypto pool. The
+// reported windows/sec is steady-state throughput (re-key time excluded);
+// rekey-ms/epoch surfaces the churn cost separately.
+func BenchmarkLiveGrid(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	var res *pem.LiveGridResult
+	for i := 0; i < b.N; i++ {
+		seed := int64(15)
+		lg, err := pem.NewLiveGrid(pem.LiveGridConfig{
+			Market:     pem.Config{KeyBits: 512, Seed: &seed},
+			Coalitions: 2,
+			Partition:  pem.PartitionBalanced,
+			Epochs:     3,
+			Churn:      pem.ChurnConfig{JoinRate: 0.25, DepartRate: 0.15, FailRate: 0.1},
+		}, pem.FleetConfig{
+			Coalitions:        2,
+			HomesPerCoalition: 4,
+			Windows:           2,
+			Seed:              20200425,
+			StartHour:         11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res, err = lg.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.WindowsPerSec, "windows/sec")
+	b.ReportMetric(float64(res.Rekey.Milliseconds())/float64(len(res.Epochs)), "rekey-ms/epoch")
+}
+
 // --- Intra-window parallel crypto engine: worker-count sweep ---
 //
 // Pipelining (above) overlaps whole windows; the parallel engine speeds up

@@ -11,6 +11,7 @@
 //	pem-bench -fig pipe         # sequential vs pipelined day comparison
 //	pem-bench -fig par          # sequential vs parallel window comparison
 //	pem-bench -fig grid         # sharded coalition grid throughput sweep
+//	pem-bench -fig live         # epoched live grid under agent churn
 //	pem-bench -table 1          # average bandwidth by key size
 //	pem-bench -all              # everything
 //
@@ -30,6 +31,12 @@
 // under the -partition strategy (fixed, random or balanced) and sweeps the
 // coalition count, reporting aggregate windows/sec; -csv FILE additionally
 // writes the sweep as CSV.
+//
+// The live figure runs a multi-day simulation: -epochs trading days with
+// -churn fleet turnover per epoch boundary (joins, planned departures and
+// crash failures), re-partitioning and re-keying every epoch. Re-key cost
+// is reported separately from steady-state window throughput, and the
+// cross-epoch settlement conservation checks are printed at the end.
 package main
 
 import (
@@ -67,6 +74,8 @@ type options struct {
 	coalition int
 	partition string
 	csvPath   string
+	epochs    int
+	churn     float64
 }
 
 func run(args []string) error {
@@ -86,7 +95,9 @@ func run(args []string) error {
 	fs.StringVar(&opt.agg, "agg", "", "aggregation topology: ring (default) or tree")
 	fs.IntVar(&opt.coalition, "coalitions", 4, "max coalition count for the grid sweep")
 	fs.StringVar(&opt.partition, "partition", pem.PartitionBalanced, "grid partition strategy: fixed, random or balanced")
-	fs.StringVar(&opt.csvPath, "csv", "", "also write the grid sweep to this CSV file")
+	fs.StringVar(&opt.csvPath, "csv", "", "also write the grid/live sweep to this CSV file")
+	fs.IntVar(&opt.epochs, "epochs", 4, "trading days to simulate in the live figure")
+	fs.Float64Var(&opt.churn, "churn", 0.2, "fleet turnover per epoch boundary in the live figure")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -107,12 +118,13 @@ func run(args []string) error {
 		"pipe": pipeComparison,
 		"par":  parComparison,
 		"grid": figGrid,
+		"live": figLive,
 		"t1":   table1,
 	}
 	var targets []string
 	switch {
 	case opt.all:
-		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "t1"}
+		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "live", "t1"}
 	case opt.table == 1:
 		targets = []string{"t1"}
 	case opt.table != 0:
@@ -597,6 +609,125 @@ func figGrid(o options) error {
 		})
 	}
 	fmt.Println("(same fleet at every row; aggregate throughput across concurrent coalition markets)")
+	if o.csvPath != "" {
+		if err := writeCSV(o.csvPath, rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.csvPath)
+	}
+	return nil
+}
+
+// figLive runs the epoched live grid: -epochs trading days over one
+// churning fleet, with -churn turnover per epoch boundary (joins at the
+// churn rate; departures and failures splitting the other churn-rate
+// share). Every epoch re-partitions the surviving-plus-new roster and
+// re-keys its coalitions over the shared crypto pool; the table reports
+// that re-key cost separately from steady-state window throughput, and the
+// run ends with the cross-epoch settlement conservation checks.
+func figLive(o options) error {
+	homes, windows := o.scale(192, 48, 16, 2)
+	keyBits := 512
+	if o.full {
+		keyBits = 1024
+	}
+	if o.keyBits > 0 {
+		keyBits = o.keyBits
+	}
+	epochs := o.epochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	coalitions := o.coalition
+	if coalitions < 1 {
+		coalitions = 1
+	}
+	blocks := coalitions
+	if homes/blocks < 2 {
+		blocks = 1
+	}
+
+	seed := o.seed
+	lg, err := pem.NewLiveGrid(pem.LiveGridConfig{
+		Market: pem.Config{
+			KeyBits:            keyBits,
+			Seed:               &seed,
+			MaxInflightWindows: o.inflight,
+			CryptoWorkers:      o.cryptoWrk,
+			Aggregation:        o.agg,
+		},
+		Coalitions: coalitions,
+		Partition:  o.partition,
+		Epochs:     epochs,
+		Churn: pem.ChurnConfig{
+			JoinRate:   o.churn,
+			DepartRate: o.churn * 0.6,
+			FailRate:   o.churn * 0.4,
+		},
+	}, pem.FleetConfig{
+		Coalitions:        blocks,
+		HomesPerCoalition: homes / blocks,
+		Windows:           windows,
+		Seed:              o.seed,
+		StartHour:         11, // midday slice: populated coalitions on both sides
+	})
+	if err != nil {
+		return err
+	}
+
+	header(fmt.Sprintf("Live grid — %d epochs, %.0f%% churn, %d homes at start, %d windows/epoch, %d-bit keys, %s partition",
+		epochs, o.churn*100, blocks*(homes/blocks), windows, keyBits, o.partition))
+	res, err := lg.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%6s %7s %18s %10s %12s %12s %14s %12s\n",
+		"epoch", "agents", "churn (+/-/x)", "markets", "rekey", "trading", "windows/sec", "bytes")
+	rows := [][]string{{
+		"epoch", "agents", "joined", "departed", "failed", "coalitions", "folded",
+		"windows", "rekey_ms", "trading_ms", "windows_per_sec", "bytes",
+	}}
+	for _, er := range res.Epochs {
+		var folded int
+		for _, cr := range er.Coalitions {
+			if cr.Folded {
+				folded++
+			}
+		}
+		wps := 0.0
+		if er.Trading > 0 {
+			wps = float64(er.Windows) / er.Trading.Seconds()
+		}
+		fmt.Printf("%6d %7d %18s %10s %12s %12s %14.2f %12d\n",
+			er.Epoch, er.Agents,
+			fmt.Sprintf("+%d/-%d/x%d", len(er.Joined), len(er.Departed), len(er.Failed)),
+			fmt.Sprintf("%d(%df)", len(er.Coalitions), folded),
+			er.Rekey.Round(time.Millisecond), er.Trading.Round(time.Millisecond),
+			wps, er.Bytes)
+		rows = append(rows, []string{
+			fmt.Sprint(er.Epoch), fmt.Sprint(er.Agents),
+			fmt.Sprint(len(er.Joined)), fmt.Sprint(len(er.Departed)), fmt.Sprint(len(er.Failed)),
+			fmt.Sprint(len(er.Coalitions)), fmt.Sprint(folded),
+			fmt.Sprint(er.Windows),
+			fmt.Sprint(er.Rekey.Milliseconds()), fmt.Sprint(er.Trading.Milliseconds()),
+			fmt.Sprintf("%.3f", wps), fmt.Sprint(er.Bytes),
+		})
+	}
+
+	var active, frozen int
+	for _, p := range res.Positions {
+		if p.Active() {
+			active++
+		} else {
+			frozen++
+		}
+	}
+	fmt.Printf("totals: %d windows; re-key %s, trading %s — steady-state %.2f windows/sec\n",
+		res.Windows, res.Rekey.Round(time.Millisecond), res.Trading.Round(time.Millisecond), res.WindowsPerSec)
+	fmt.Printf("positions: %d active, %d settled leavers; conservation: energy %.3g kWh, payments %.3g cents\n",
+		active, frozen, res.EnergyImbalanceKWh, res.PaymentImbalanceCents)
+	fmt.Println("(re-key = per-epoch key provisioning for every coalition; steady-state excludes it)")
 	if o.csvPath != "" {
 		if err := writeCSV(o.csvPath, rows); err != nil {
 			return err

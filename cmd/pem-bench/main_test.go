@@ -77,3 +77,28 @@ func TestRunTinyGrid(t *testing.T) {
 		t.Error("unknown partition strategy accepted")
 	}
 }
+
+func TestRunTinyLive(t *testing.T) {
+	// The live (epoched) figure end to end at tiny scale: ≥4 epochs of
+	// ≥20% churn with CSV output — one row per epoch.
+	path := filepath.Join(t.TempDir(), "live.csv")
+	err := run([]string{
+		"-fig", "live", "-homes", "8", "-windows", "1", "-keybits", "256",
+		"-coalitions", "2", "-epochs", "4", "-churn", "0.25", "-csv", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0][0] != "epoch" || rows[4][0] != "3" {
+		t.Fatalf("csv shape wrong: %v", rows)
+	}
+}

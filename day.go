@@ -12,6 +12,7 @@ import (
 // behind Fig. 4 (coalition sizes), Fig. 6(a) (price), Fig. 6(c) (buyer
 // coalition cost) and Fig. 6(d) (grid interaction).
 type DaySeries struct {
+	// Windows is the number of trading windows in the day.
 	Windows int
 	// Kind per window.
 	Kind []Kind
@@ -20,17 +21,14 @@ type DaySeries struct {
 	Price []float64
 	// PHat is the unclamped Stackelberg price (0 where pricing didn't run).
 	PHat []float64
-	// SellerCount / BuyerCount are the coalition sizes.
-	SellerCount []int
-	BuyerCount  []int
-	// BuyerCostPEM / BuyerCostBase are the buyer coalition's total cost
+	// SellerCount and BuyerCount are the coalition sizes.
+	SellerCount, BuyerCount []int
+	// BuyerCostPEM and BuyerCostBase are the buyer coalition's total cost
 	// with PEM and with grid-only trading (cents).
-	BuyerCostPEM  []float64
-	BuyerCostBase []float64
-	// GridPEM / GridBase are the total energy exchanged with the main
+	BuyerCostPEM, BuyerCostBase []float64
+	// GridPEM and GridBase are the total energy exchanged with the main
 	// grid (kWh).
-	GridPEM  []float64
-	GridBase []float64
+	GridPEM, GridBase []float64
 }
 
 // SimulateDay runs the plaintext market over every window of the trace.
@@ -113,6 +111,7 @@ func SellerUtilitySeries(trace *Trace, homeIndex int, k float64, params Params) 
 
 // DayResult aggregates a full day executed through the private protocols.
 type DayResult struct {
+	// Results holds one outcome per window, in window order.
 	Results []*WindowResult
 	// TotalBytes is the transport traffic of the whole day.
 	TotalBytes int64

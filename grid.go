@@ -89,6 +89,13 @@ type GridConfig struct {
 	// coalition-days run concurrently (default: all). Outcomes are
 	// bit-identical at any setting when Market.Seed is set.
 	MaxConcurrentCoalitions int
+	// MinCoalition is the smallest roster that still runs a private market
+	// (default DefaultMinCoalition = 3). A smaller coalition is not an
+	// error: it is folded into grid settlement — its stranded agents trade
+	// at the grid tariff — and marked ErrCoalitionSkipped with
+	// CoalitionRun.Folded set. Set to 2 to run every coalition the
+	// partitioner can produce.
+	MinCoalition int
 }
 
 // Grid is a partitioned fleet ready to trade. Unlike Market (whose keys
@@ -144,6 +151,7 @@ func (g *Grid) Run(ctx context.Context) (*GridResult, error) {
 	res, err := grid.Run(ctx, grid.Config{
 		Engine:        g.cfg.Market.coreConfig(),
 		MaxConcurrent: g.cfg.MaxConcurrentCoalitions,
+		MinCoalition:  g.cfg.MinCoalition,
 	}, g.trace, g.parts)
 	if err != nil {
 		return res, fmt.Errorf("pem: %w", err)

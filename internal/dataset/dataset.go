@@ -41,20 +41,18 @@ type Config struct {
 
 	// StartHour is the local hour of window 0 (default 7).
 	StartHour float64
-	// SunriseHour/SunsetHour bound solar production (defaults 6.5/19.5).
-	SunriseHour float64
-	SunsetHour  float64
+	// SunriseHour and SunsetHour bound solar production (defaults
+	// 6.5/19.5).
+	SunriseHour, SunsetHour float64
 
-	// SolarCapMinKW/SolarCapMaxKW bound per-home panel capacity
+	// SolarCapMinKW and SolarCapMaxKW bound per-home panel capacity
 	// (defaults 2 and 9 kW).
-	SolarCapMinKW float64
-	SolarCapMaxKW float64
+	SolarCapMinKW, SolarCapMaxKW float64
 
-	// CloudFloor/CloudCeil bound the AR(1) cloud-attenuation process
+	// CloudFloor and CloudCeil bound the AR(1) cloud-attenuation process
 	// (defaults 0.25 and 1.0). A scenario preset narrows the band: an
 	// overcast day lives near the floor, a clear one near the ceiling.
-	CloudFloor float64
-	CloudCeil  float64
+	CloudFloor, CloudCeil float64
 
 	// SolarFraction is the share of homes with panels (default 0.85).
 	// Panel-less homes remain buyers all day, which keeps the buyer
@@ -63,29 +61,27 @@ type Config struct {
 	// tiny positive value (not 0, which means "default") to disable.
 	SolarFraction float64
 
-	// BaseLoadMinKW/BaseLoadMaxKW bound the per-home base load
+	// BaseLoadMinKW and BaseLoadMaxKW bound the per-home base load
 	// (defaults 0.3 and 1.2 kW).
-	BaseLoadMinKW float64
-	BaseLoadMaxKW float64
+	BaseLoadMinKW, BaseLoadMaxKW float64
 
-	// KMin/KMax bound the preference parameter k_i (defaults 60 and 110,
-	// which places the unclamped Stackelberg price near the paper's
+	// KMin and KMax bound the preference parameter k_i (defaults 60 and
+	// 110, which places the unclamped Stackelberg price near the paper's
 	// [90,110] band; the Fig 6b experiment overrides k per tracked
 	// seller).
-	KMin float64
-	KMax float64
+	KMin, KMax float64
 
-	// EpsilonMin/EpsilonMax bound the battery loss coefficient
+	// EpsilonMin and EpsilonMax bound the battery loss coefficient
 	// (defaults 0.75 and 0.95).
-	EpsilonMin float64
-	EpsilonMax float64
+	EpsilonMin, EpsilonMax float64
 
 	// BatteryFraction of homes have a battery (default 0.3); capacities
 	// are drawn in [BatteryCapMinKWh, BatteryCapMaxKWh] (defaults 2 and
 	// 10 kWh).
-	BatteryFraction  float64
-	BatteryCapMinKWh float64
-	BatteryCapMaxKWh float64
+	BatteryFraction float64
+	// BatteryCapMinKWh and BatteryCapMaxKWh bound per-home battery
+	// capacity (defaults 2 and 10 kWh).
+	BatteryCapMinKWh, BatteryCapMaxKWh float64
 
 	// IDPrefix prefixes home IDs (default "home-"); fleet synthesis gives
 	// each coalition its own prefix so IDs stay unique fleet-wide.
@@ -175,11 +171,17 @@ func (c Config) Validate() error {
 // are public metadata (a grid partitioner may read them; see internal/grid);
 // the per-window trace data stays private to the protocols.
 type Home struct {
-	ID            string
-	SolarCapKW    float64
-	BaseLoadKW    float64
-	K             float64
-	Epsilon       float64
+	// ID is the home's unique agent identifier.
+	ID string
+	// SolarCapKW is the panel nameplate capacity (0 = no panels).
+	SolarCapKW float64
+	// BaseLoadKW is the contracted base load.
+	BaseLoadKW float64
+	// K is the utility preference parameter k_i (private).
+	K float64
+	// Epsilon is the battery loss coefficient ε_i (private).
+	Epsilon float64
+	// BatteryCapKWh is the battery capacity (0 = no battery).
 	BatteryCapKWh float64
 	// Scenario is the weather/equipment preset the home was synthesized
 	// under (empty for plain Generate calls).
@@ -194,14 +196,15 @@ func (h Home) NetCapacityKW() float64 { return h.SolarCapKW - h.BaseLoadKW }
 
 // Trace is a full day of per-window data for a fleet of homes.
 type Trace struct {
-	Homes   []Home
+	// Homes is the fleet roster with static parameters.
+	Homes []Home
+	// Windows is the number of trading windows in the day.
 	Windows int
 	// StartHour is the local time of window 0.
 	StartHour float64
-	// Gen[h][w], Load[h][w], Battery[h][w] in kWh per window.
-	Gen     [][]float64
-	Load    [][]float64
-	Battery [][]float64
+	// Gen[h][w], Load[h][w] and Battery[h][w] are home h's generation,
+	// load and battery schedule in window w (kWh per window).
+	Gen, Load, Battery [][]float64
 }
 
 // Generate synthesizes a trace.
@@ -236,67 +239,75 @@ func Generate(cfg Config) (*Trace, error) {
 			home.BatteryCapKWh = uniform(rng, cfg.BatteryCapMinKWh, cfg.BatteryCapMaxKWh)
 		}
 		tr.Homes[h] = home
-
-		gen := make([]float64, cfg.Windows)
-		load := make([]float64, cfg.Windows)
-		batt := make([]float64, cfg.Windows)
-
-		// AR(1) cloud attenuation in [CloudFloor, CloudCeil], starting in
-		// the upper part of the band.
-		cloudBand := cfg.CloudCeil - cfg.CloudFloor
-		cloud := cfg.CloudFloor + cloudBand*(0.6+0.4*rng.Float64())
-		// Morning/evening load peaks with per-home jitter.
-		morning := 7.5 + rng.NormFloat64()*0.4
-		evening := 18.2 + rng.NormFloat64()*0.5
-		morningAmp := home.BaseLoadKW * (1.0 + rng.Float64())
-		eveningAmp := home.BaseLoadKW * (1.5 + rng.Float64())
-		level := 0.0 // battery state of charge (kWh)
-
-		for w := 0; w < cfg.Windows; w++ {
-			hour := cfg.StartHour + float64(w)/60
-
-			// Solar: clear-sky bell shaped by daylight fraction.
-			var sunKW float64
-			if hour > cfg.SunriseHour && hour < cfg.SunsetHour {
-				frac := (hour - cfg.SunriseHour) / (cfg.SunsetHour - cfg.SunriseHour)
-				sunKW = home.SolarCapKW * math.Pow(math.Sin(math.Pi*frac), 1.4)
-			}
-			cloud = clamp(0.92*cloud+0.08*(cfg.CloudFloor+cloudBand*rng.Float64()), cfg.CloudFloor, cfg.CloudCeil)
-			genKW := sunKW * cloud
-
-			// Load: base + peaks + noise, never negative.
-			loadKW := home.BaseLoadKW +
-				morningAmp*gauss(hour, morning, 0.8) +
-				eveningAmp*gauss(hour, evening, 1.1) +
-				rng.NormFloat64()*0.05*home.BaseLoadKW
-			if loadKW < 0.05 {
-				loadKW = 0.05
-			}
-
-			genKWh := genKW / 60
-			loadKWh := loadKW / 60
-			gen[w] = genKWh
-			load[w] = loadKWh
-
-			// Battery policy: charge 30% of surplus, discharge 30% of
-			// deficit, within capacity.
-			var b float64
-			if home.BatteryCapKWh > 0 {
-				surplus := genKWh - loadKWh
-				if surplus > 0 {
-					b = math.Min(0.3*surplus, home.BatteryCapKWh-level)
-				} else {
-					b = -math.Min(0.3*-surplus, level)
-				}
-				level += b
-			}
-			batt[w] = b
-		}
-		tr.Gen[h] = gen
-		tr.Load[h] = load
-		tr.Battery[h] = batt
+		tr.Gen[h], tr.Load[h], tr.Battery[h] = cfg.synthesizeDay(home, rng)
 	}
 	return tr, nil
+}
+
+// synthesizeDay generates one home's day of per-window generation, load and
+// battery data from the given randomness stream. The home's static
+// parameters are fixed inputs; only the weather, load jitter and battery
+// schedule are drawn. Generate feeds it each home's share of the trace
+// stream; the churn layer (churn.go) re-invokes it with a per-(epoch, home)
+// stream so a surviving agent gets a fresh day per epoch while its static
+// parameters persist. The receiver must have defaults applied.
+func (cfg Config) synthesizeDay(home Home, rng *mrand.Rand) (gen, load, batt []float64) {
+	gen = make([]float64, cfg.Windows)
+	load = make([]float64, cfg.Windows)
+	batt = make([]float64, cfg.Windows)
+
+	// AR(1) cloud attenuation in [CloudFloor, CloudCeil], starting in
+	// the upper part of the band.
+	cloudBand := cfg.CloudCeil - cfg.CloudFloor
+	cloud := cfg.CloudFloor + cloudBand*(0.6+0.4*rng.Float64())
+	// Morning/evening load peaks with per-home jitter.
+	morning := 7.5 + rng.NormFloat64()*0.4
+	evening := 18.2 + rng.NormFloat64()*0.5
+	morningAmp := home.BaseLoadKW * (1.0 + rng.Float64())
+	eveningAmp := home.BaseLoadKW * (1.5 + rng.Float64())
+	level := 0.0 // battery state of charge (kWh)
+
+	for w := 0; w < cfg.Windows; w++ {
+		hour := cfg.StartHour + float64(w)/60
+
+		// Solar: clear-sky bell shaped by daylight fraction.
+		var sunKW float64
+		if hour > cfg.SunriseHour && hour < cfg.SunsetHour {
+			frac := (hour - cfg.SunriseHour) / (cfg.SunsetHour - cfg.SunriseHour)
+			sunKW = home.SolarCapKW * math.Pow(math.Sin(math.Pi*frac), 1.4)
+		}
+		cloud = clamp(0.92*cloud+0.08*(cfg.CloudFloor+cloudBand*rng.Float64()), cfg.CloudFloor, cfg.CloudCeil)
+		genKW := sunKW * cloud
+
+		// Load: base + peaks + noise, never negative.
+		loadKW := home.BaseLoadKW +
+			morningAmp*gauss(hour, morning, 0.8) +
+			eveningAmp*gauss(hour, evening, 1.1) +
+			rng.NormFloat64()*0.05*home.BaseLoadKW
+		if loadKW < 0.05 {
+			loadKW = 0.05
+		}
+
+		genKWh := genKW / 60
+		loadKWh := loadKW / 60
+		gen[w] = genKWh
+		load[w] = loadKWh
+
+		// Battery policy: charge 30% of surplus, discharge 30% of
+		// deficit, within capacity.
+		var b float64
+		if home.BatteryCapKWh > 0 {
+			surplus := genKWh - loadKWh
+			if surplus > 0 {
+				b = math.Min(0.3*surplus, home.BatteryCapKWh-level)
+			} else {
+				b = -math.Min(0.3*-surplus, level)
+			}
+			level += b
+		}
+		batt[w] = b
+	}
+	return gen, load, batt
 }
 
 func uniform(rng *mrand.Rand, lo, hi float64) float64 {

@@ -45,7 +45,7 @@ func ScenarioConfig(s Scenario, homes, windows int, seed int64) (Config, error) 
 		cfg.BaseLoadMinKW = 0.2
 		cfg.BaseLoadMaxKW = 0.8
 		cfg.SolarFraction = 0.999 // effectively everyone has panels
-		cfg.CloudFloor = 0.7     // clear sky: attenuation stays high
+		cfg.CloudFloor = 0.7      // clear sky: attenuation stays high
 	case ScenarioOvercast:
 		cfg.SolarCapMinKW = 0.8
 		cfg.SolarCapMaxKW = 2.5
@@ -83,9 +83,11 @@ func GenerateScenario(s Scenario, homes, windows int, seed int64) (*Trace, error
 
 // UnknownScenarioError is returned for unrecognized preset names.
 type UnknownScenarioError struct {
+	// Scenario is the unrecognized preset name.
 	Scenario Scenario
 }
 
+// Error implements the error interface.
 func (e *UnknownScenarioError) Error() string {
 	return "dataset: unknown scenario " + string(e.Scenario)
 }

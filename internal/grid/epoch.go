@@ -1,0 +1,433 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/pem-go/pem/internal/core"
+	"github.com/pem-go/pem/internal/dataset"
+	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/transport"
+)
+
+// The epoch layer turns the one-shot grid into a long-running live system.
+// A multi-day simulation is split into epochs; at each epoch boundary a
+// seeded churn model (dataset.Evolve) updates the fleet — prosumers join,
+// depart and fail — the partitioner re-partitions the surviving-plus-new
+// agents, and every coalition re-keys: fresh core session key material and
+// a fresh transport scope per (epoch, coalition), over the same shared bus
+// and crypto worker pool, so re-keying is bounded work rather than a
+// restart. Settlement carries across epochs in a market.PositionBook:
+// per-agent cumulative positions survive re-partitioning because they are
+// keyed by agent ID, and an agent that leaves settles and freezes at its
+// exit epoch.
+
+// LiveConfig configures a live (epoched) grid run.
+type LiveConfig struct {
+	// Grid carries the per-coalition engine configuration and the
+	// supervisor budgets, exactly as for a one-shot Run. Engine.Namespace
+	// is supervisor-managed; when Engine.Seed is set, a per-epoch seed is
+	// derived from it so every epoch re-keys to fresh — but reproducible —
+	// key material.
+	Grid Config
+	// Coalitions is the target coalition count per epoch (required). When
+	// churn shrinks the fleet below 2·Coalitions the epoch runs with the
+	// largest count the roster can fill.
+	Coalitions int
+	// Partition selects the per-epoch partition strategy (default
+	// StrategyFixed). Every epoch re-partitions from scratch: membership
+	// follows the surviving-plus-new roster, not history.
+	Partition Strategy
+	// PartitionSeed feeds the random strategy; a per-epoch seed is derived
+	// from it so consecutive epochs shuffle differently.
+	PartitionSeed int64
+}
+
+// Validate checks the live configuration, including that the partition
+// strategy exists. RunLive validates on entry; pem.NewLiveGrid also calls
+// it at construction so a statically-bad config fails before the fleet
+// evolution or any key material is built.
+func (c LiveConfig) Validate() error {
+	if err := c.Grid.validate(); err != nil {
+		return err
+	}
+	if c.Coalitions <= 0 {
+		return fmt.Errorf("grid: live Coalitions must be positive, got %d", c.Coalitions)
+	}
+	switch c.Partition {
+	case StrategyFixed, StrategyRandom, StrategyBalanced, "":
+		return nil
+	default:
+		return fmt.Errorf("grid: unknown partition strategy %q", c.Partition)
+	}
+}
+
+// EpochResult is the outcome of one epoch of a live grid: one trading day
+// over that epoch's roster and partition.
+type EpochResult struct {
+	// Epoch is the epoch index.
+	Epoch int
+	// Agents is the roster size for the epoch.
+	Agents int
+	// Joined, Departed and Failed list the churn applied at the boundary
+	// entering this epoch (all empty for epoch 0).
+	Joined, Departed, Failed []string
+	// Coalitions holds the per-coalition outcomes, in partition order,
+	// named "e<epoch>-c<index>" (also their transport scope).
+	Coalitions []CoalitionRun
+	// Settlement clears the epoch's coalition residuals — completed and
+	// folded alike — against the grid tariff.
+	Settlement *market.GridSettlement
+	// Windows counts completed trading windows across the epoch.
+	Windows int
+	// Bytes is the epoch's protocol traffic on the shared bus.
+	Bytes int64
+	// Rekey is the wall-clock time of the epoch's re-keying phase: every
+	// coalition provisioning fresh key material and transport scopes,
+	// concurrently over the shared crypto pool. Reported separately so
+	// churn cost stays distinguishable from trading throughput.
+	Rekey time.Duration
+	// Trading is the wall-clock time of the epoch's window-execution
+	// phase, after all engines were provisioned.
+	Trading time.Duration
+	// Duration is the epoch's total wall-clock time (re-key, trading and
+	// teardown).
+	Duration time.Duration
+}
+
+// LiveResult is the outcome of a full live-grid simulation.
+type LiveResult struct {
+	// Epochs holds one entry per executed epoch, in order. On failure the
+	// last entry is the partial epoch that failed.
+	Epochs []EpochResult
+	// Positions are the per-agent cumulative positions across all epochs,
+	// sorted by agent ID; departed and failed agents are frozen at their
+	// exit epoch.
+	Positions []market.AgentPosition
+	// Windows counts completed trading windows across all epochs.
+	Windows int
+	// Duration is the whole simulation's wall-clock time.
+	Duration time.Duration
+	// TotalBytes is the fleet's protocol traffic across all epochs.
+	TotalBytes int64
+	// Rekey sums the epochs' re-keying phases.
+	Rekey time.Duration
+	// Trading sums the epochs' window-execution phases.
+	Trading time.Duration
+	// WindowsPerSec is the steady-state throughput — Windows / Trading —
+	// with re-keying cost excluded (it is reported in Rekey instead).
+	WindowsPerSec float64
+	// EnergyImbalanceKWh and PaymentImbalanceCents are the fleet-wide PEM
+	// conservation checks over the whole simulation (zero up to float
+	// noise): energy sold inside the markets equals energy bought, and
+	// every cent paid lands with a counterparty.
+	EnergyImbalanceKWh, PaymentImbalanceCents float64
+}
+
+// RunLive executes a multi-epoch live-grid simulation over the evolution's
+// fleet history. Epochs run in order (they are consecutive trading days);
+// within an epoch, re-keying and coalition-days are concurrent exactly like
+// a one-shot Run. A genuine coalition failure aborts the simulation after
+// draining its epoch; the returned LiveResult keeps all completed epochs
+// plus the partial one. With Grid.Engine.Seed set, the whole simulation is
+// deterministic: bit-identical per (epoch, coalition) at any coalition
+// concurrency.
+func RunLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution) (*LiveResult, error) {
+	if evo == nil || len(evo.Epochs) == 0 {
+		return nil, errors.New("grid: live run needs a non-empty evolution")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	book, err := market.NewPositionBook(cfg.Grid.params())
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared infrastructure for the whole simulation: one bus, one bounded
+	// crypto pool. Epochs re-key over it — fresh keys, fresh scopes — but
+	// never tear it down, which is what keeps churn bounded work.
+	bus := transport.NewBus(nil)
+	workers := paillier.NewWorkers(cfg.Grid.Engine.CryptoWorkers)
+	defer workers.Release()
+
+	start := time.Now()
+	res := &LiveResult{}
+	var firstErr error
+	for _, ef := range evo.Epochs {
+		if err := applyBoundary(book, &ef); err != nil {
+			firstErr = err
+			break
+		}
+		er, err := runEpoch(ctx, cfg, bus, workers, &ef)
+		res.Epochs = append(res.Epochs, *er)
+		res.Windows += er.Windows
+		res.TotalBytes += er.Bytes
+		res.Rekey += er.Rekey
+		res.Trading += er.Trading
+		if err == nil {
+			err = applyEpochFlows(book, er)
+		}
+		if err != nil {
+			firstErr = fmt.Errorf("grid: epoch %d: %w", ef.Epoch, err)
+			break
+		}
+	}
+
+	res.Duration = time.Since(start)
+	res.Positions = book.Positions()
+	res.EnergyImbalanceKWh, res.PaymentImbalanceCents = book.Conservation()
+	if res.Trading > 0 {
+		res.WindowsPerSec = float64(res.Windows) / res.Trading.Seconds()
+	}
+	return res, firstErr
+}
+
+// applyBoundary applies one epoch's churn events to the position book:
+// leavers settle and freeze at their last traded epoch, joiners open fresh
+// positions. Epoch 0 only opens the base fleet's positions.
+func applyBoundary(book *market.PositionBook, ef *dataset.EpochFleet) error {
+	for _, id := range ef.Departed {
+		if err := book.Exit(id, ef.Epoch-1, string(dataset.ChurnDepart), 0, 0); err != nil {
+			return err
+		}
+	}
+	for _, id := range ef.Failed {
+		if err := book.Exit(id, ef.Epoch-1, string(dataset.ChurnFail), 0, 0); err != nil {
+			return err
+		}
+	}
+	if ef.Epoch == 0 {
+		for _, h := range ef.Trace.Homes {
+			if err := book.Join(h.ID, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, id := range ef.Joined {
+		if err := book.Join(id, ef.Epoch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyEpochFlows folds every coalition's per-agent flows — completed and
+// folded coalitions alike — into the position book, in coalition order so
+// the floating-point accumulation is deterministic.
+func applyEpochFlows(book *market.PositionBook, er *EpochResult) error {
+	for i := range er.Coalitions {
+		cr := &er.Coalitions[i]
+		if !cr.settleable() {
+			continue
+		}
+		if err := book.Apply(er.Epoch, cr.Flows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runEpoch executes one epoch: re-partition the epoch's roster, re-key
+// every coalition (fresh engines over the shared infrastructure), run the
+// coalition-days concurrently, and settle the epoch's residuals. The
+// returned EpochResult is valid even on error, with per-coalition Err set.
+func runEpoch(ctx context.Context, cfg LiveConfig, bus *transport.Bus, workers *paillier.Workers, ef *dataset.EpochFleet) (*EpochResult, error) {
+	begin := time.Now()
+	er := &EpochResult{
+		Epoch:    ef.Epoch,
+		Agents:   len(ef.Trace.Homes),
+		Joined:   ef.Joined,
+		Departed: ef.Departed,
+		Failed:   ef.Failed,
+	}
+	defer func() { er.Duration = time.Since(begin) }()
+
+	// Churn may have shrunk the roster below what the requested coalition
+	// count can fill; degrade to the largest count whose coalitions still
+	// meet the private-market floor, rather than partition the roster into
+	// slivers that would all fold to grid-tariff service.
+	k := cfg.Coalitions
+	if limit := len(ef.Trace.Homes) / cfg.Grid.minCoalition(); k > limit {
+		k = limit
+	}
+	if k < 1 {
+		k = 1
+	}
+	parts, err := Partition(cfg.Partition, ef.Trace.Homes, k, deriveEpochSeed(cfg.PartitionSeed, ef.Epoch))
+	if err != nil {
+		return er, err
+	}
+
+	// Re-keying gets a per-epoch engine seed so a seeded simulation
+	// provisions fresh — but reproducible — key material each epoch; a
+	// repeated seed would re-derive the very same keys, which is rotation
+	// in name only.
+	gcfg := cfg.Grid
+	if s := gcfg.Engine.Seed; s != nil {
+		es := deriveEpochSeed(*s, ef.Epoch)
+		gcfg.Engine.Seed = &es
+	}
+
+	er.Coalitions = make([]CoalitionRun, len(parts))
+	for i, members := range parts {
+		er.Coalitions[i] = CoalitionRun{
+			Name:    fmt.Sprintf("e%02d-c%02d", ef.Epoch, i),
+			Members: append([]int(nil), members...),
+		}
+	}
+
+	rekeyed, err := rekeyEpoch(ctx, gcfg, bus, workers, ef.Trace, er)
+	defer func() {
+		for _, rk := range rekeyed {
+			if rk.engine != nil {
+				rk.engine.Close()
+			}
+		}
+	}()
+	if err != nil {
+		return er, err
+	}
+
+	tradeStart := time.Now()
+	err = tradeEpoch(ctx, gcfg, bus, er, rekeyed)
+	er.Trading = time.Since(tradeStart)
+
+	var residuals []market.CoalitionResidual
+	for i := range er.Coalitions {
+		cr := &er.Coalitions[i]
+		if cr.settleable() {
+			residuals = append(residuals, cr.Residual)
+		}
+		if cr.Err != nil {
+			continue
+		}
+		er.Windows += len(cr.Results)
+		er.Bytes += cr.Bytes
+	}
+	if len(residuals) > 0 {
+		settlement, serr := market.SettleResiduals(residuals, gcfg.params())
+		if serr != nil && err == nil {
+			err = fmt.Errorf("settlement: %w", serr)
+		}
+		er.Settlement = settlement
+	}
+	return er, err
+}
+
+// rekeyedCoalition is one coalition's provisioned state after the re-key
+// phase: its engine (nil for folded or failed slots) and the sub-trace it
+// was keyed for, carried into the trading phase so it is selected once.
+type rekeyedCoalition struct {
+	engine *core.Engine
+	sub    *dataset.Trace
+}
+
+// rekeyEpoch provisions one engine per runnable coalition — fresh Paillier
+// keys for every member, a fresh transport scope — concurrently over the
+// shared worker pool, which bounds the total keygen parallelism. Too-small
+// coalitions are folded here (they never key). Returns the provisioned
+// coalitions indexed like er.Coalitions; on error the caller still closes
+// whatever was provisioned.
+func rekeyEpoch(ctx context.Context, cfg Config, bus *transport.Bus, workers *paillier.Workers, tr *dataset.Trace, er *EpochResult) ([]rekeyedCoalition, error) {
+	rekeyStart := time.Now()
+	defer func() { er.Rekey = time.Since(rekeyStart) }()
+
+	rekeyed := make([]rekeyedCoalition, len(er.Coalitions))
+	var wg sync.WaitGroup
+	for i := range er.Coalitions {
+		if ctx.Err() != nil {
+			er.Coalitions[i].Err = fmt.Errorf("%w on cancellation", ErrCoalitionSkipped)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, cr *CoalitionRun) {
+			defer wg.Done()
+			begin := time.Now()
+			sub, err := tr.Select(cr.Members)
+			if err != nil {
+				cr.Err = err
+				return
+			}
+			agents := sub.Agents()
+			cr.IDs = make([]string, len(agents))
+			for j, a := range agents {
+				cr.IDs[j] = a.ID
+			}
+			if len(agents) < cfg.minCoalition() {
+				foldCoalition(cfg, sub, cr)
+				return
+			}
+			ecfg := cfg.Engine
+			ecfg.Namespace = cr.Name
+			eng, err := core.NewEngineWith(ecfg, agents, core.Resources{Bus: bus, Workers: workers})
+			if err != nil {
+				cr.Err = fmt.Errorf("rekey: %w", err)
+				return
+			}
+			cr.Rekey = time.Since(begin)
+			rekeyed[i] = rekeyedCoalition{engine: eng, sub: sub}
+		}(i, &er.Coalitions[i])
+	}
+	wg.Wait()
+
+	for i := range er.Coalitions {
+		if cr := &er.Coalitions[i]; cr.failure() {
+			return rekeyed, fmt.Errorf("coalition %s: %w", cr.Name, cr.Err)
+		}
+	}
+	return rekeyed, ctx.Err()
+}
+
+// tradeEpoch runs every keyed coalition's trading day concurrently under
+// the MaxConcurrent budget, through the supervisor's fail-fast launcher: a
+// failing coalition cancels only itself, later launches stop, in-flight
+// days drain. Folded slots (nil engine) are not eligible for launch.
+func tradeEpoch(ctx context.Context, cfg Config, bus *transport.Bus, er *EpochResult, rekeyed []rekeyedCoalition) error {
+	return launchCoalitions(ctx, cfg.MaxConcurrent, er.Coalitions,
+		func(i int) bool { return rekeyed[i].engine != nil },
+		func(i int, cr *CoalitionRun) { tradeCoalition(ctx, cfg, bus, cr, rekeyed[i]) })
+}
+
+// tradeCoalition runs one keyed coalition's trading day through its
+// provisioned engine and folds the oracle accounting, mirroring
+// runCoalition minus provisioning (paid during re-key) and trace selection
+// (done once at re-key time).
+func tradeCoalition(ctx context.Context, cfg Config, bus *transport.Bus, cr *CoalitionRun, rk rekeyedCoalition) {
+	begin := time.Now()
+	defer func() { cr.Duration = cr.Rekey + time.Since(begin) }()
+
+	jobs := make([]core.WindowJob, rk.sub.Windows)
+	for w := 0; w < rk.sub.Windows; w++ {
+		inputs, err := rk.sub.WindowInputs(w)
+		if err != nil {
+			cr.Err = err
+			return
+		}
+		jobs[w] = core.WindowJob{Window: w, Inputs: inputs}
+	}
+	results, err := rk.engine.RunWindows(ctx, jobs)
+	if err != nil {
+		cr.Err = err
+		return
+	}
+	cr.Results = results
+	cr.Bytes = bus.Metrics().ScopeBytes(cr.Name)
+	cr.Err = oracleAccounting(cfg, rk.sub, jobs, cr)
+}
+
+// deriveEpochSeed expands a simulation seed into one independent stream per
+// epoch, FNV-hashed like the dataset's seed derivation so the mapping is
+// stable across runs and platforms.
+func deriveEpochSeed(seed int64, epoch int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "pem/grid/epoch/%d/%d", seed, epoch)
+	return int64(h.Sum64())
+}

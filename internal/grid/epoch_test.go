@@ -1,0 +1,375 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/pem-go/pem/internal/dataset"
+	"github.com/pem-go/pem/internal/market"
+)
+
+func testEvolution(t *testing.T, epochs int, churn dataset.ChurnConfig) *dataset.Evolution {
+	t.Helper()
+	churn.Epochs = epochs
+	evo, err := dataset.Evolve(dataset.FleetConfig{
+		Coalitions:        3,
+		HomesPerCoalition: 3,
+		Windows:           2,
+		Seed:              1234,
+	}, churn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evo
+}
+
+func testLiveConfig(seed int64, conc int) LiveConfig {
+	return LiveConfig{
+		Grid:       Config{Engine: testEngineConfig(seed), MaxConcurrent: conc},
+		Coalitions: 3,
+		Partition:  StrategyBalanced,
+	}
+}
+
+// TestLiveDeterministicAcrossConcurrency is the headline guarantee of the
+// epoch layer: a seeded live grid produces bit-identical per-(epoch,
+// coalition) outcomes and identical cumulative positions whether the
+// coalition-days run one at a time or all at once.
+func TestLiveDeterministicAcrossConcurrency(t *testing.T) {
+	evo := testEvolution(t, 3, dataset.ChurnConfig{JoinRate: 0.25, DepartRate: 0.15, FailRate: 0.1})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	var base *LiveResult
+	for _, conc := range []int{1, 2, 4} {
+		res, err := RunLive(ctx, testLiveConfig(5, conc), evo)
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", conc, err)
+		}
+		if len(res.Epochs) != 3 {
+			t.Fatalf("concurrency %d: %d epochs", conc, len(res.Epochs))
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		for e := range res.Epochs {
+			a, b := base.Epochs[e], res.Epochs[e]
+			if len(a.Coalitions) != len(b.Coalitions) {
+				t.Fatalf("concurrency %d epoch %d: coalition counts diverge", conc, e)
+			}
+			for i := range a.Coalitions {
+				ca, cb := a.Coalitions[i], b.Coalitions[i]
+				if ca.Name != cb.Name || ca.Folded != cb.Folded || len(ca.Results) != len(cb.Results) {
+					t.Fatalf("concurrency %d epoch %d coalition %d diverged structurally", conc, e, i)
+				}
+				for w := range ca.Results {
+					ra, rb := ca.Results[w], cb.Results[w]
+					if ra.Kind != rb.Kind || ra.Price != rb.Price || ra.PHat != rb.PHat ||
+						ra.SellerCount != rb.SellerCount || ra.BuyerCount != rb.BuyerCount ||
+						ra.BytesOnWire != rb.BytesOnWire || len(ra.Trades) != len(rb.Trades) {
+						t.Fatalf("concurrency %d: epoch %d coalition %s window %d diverged:\n%+v\nvs\n%+v",
+							conc, e, ca.Name, w, ra, rb)
+					}
+					for k := range ra.Trades {
+						if ra.Trades[k] != rb.Trades[k] {
+							t.Fatalf("concurrency %d: epoch %d coalition %s window %d trade %d diverged", conc, e, ca.Name, w, k)
+						}
+					}
+				}
+			}
+		}
+		if len(base.Positions) != len(res.Positions) {
+			t.Fatalf("concurrency %d: position counts diverge", conc)
+		}
+		for i := range base.Positions {
+			if base.Positions[i] != res.Positions[i] {
+				t.Fatalf("concurrency %d: position %s diverged:\n%+v\nvs\n%+v",
+					conc, base.Positions[i].ID, base.Positions[i], res.Positions[i])
+			}
+		}
+	}
+}
+
+// TestLiveMatchesOracle checks every epoch's private outcomes against the
+// plaintext clearing oracle over that epoch's trace and partition.
+func TestLiveMatchesOracle(t *testing.T) {
+	evo := testEvolution(t, 3, dataset.ChurnConfig{JoinRate: 0.2, DepartRate: 0.2})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	res, err := RunLive(ctx, testLiveConfig(9, 0), evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := market.DefaultParams()
+	for e, er := range res.Epochs {
+		if er.Windows == 0 {
+			t.Errorf("epoch %d completed no windows", e)
+		}
+		for _, cr := range er.Coalitions {
+			if cr.Folded {
+				continue
+			}
+			if cr.Err != nil {
+				t.Fatalf("epoch %d coalition %s: %v", e, cr.Name, cr.Err)
+			}
+			sub, err := evo.Epochs[e].Trace.Select(cr.Members)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w, got := range cr.Results {
+				inputs, err := sub.WindowInputs(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clr, err := market.Clear(sub.Agents(), inputs, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Kind != clr.Kind {
+					t.Errorf("epoch %d %s w%d: kind %v, oracle %v", e, cr.Name, w, got.Kind, clr.Kind)
+				}
+				if math.Abs(got.Price-clr.Price) > 1e-4 {
+					t.Errorf("epoch %d %s w%d: price %v, oracle %v", e, cr.Name, w, got.Price, clr.Price)
+				}
+				if len(got.Trades) != len(clr.Trades) {
+					t.Errorf("epoch %d %s w%d: %d trades, oracle %d", e, cr.Name, w, len(got.Trades), len(clr.Trades))
+				}
+			}
+		}
+	}
+}
+
+// TestLiveRekeying: every epoch provisions fresh key material under a fresh
+// transport scope — re-key cost is accounted separately from trading, and
+// each (epoch, coalition) scope carries its own traffic.
+func TestLiveRekeying(t *testing.T) {
+	evo := testEvolution(t, 2, dataset.ChurnConfig{JoinRate: 0.2, DepartRate: 0.1})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	res, err := RunLive(ctx, testLiveConfig(13, 0), evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rekey <= 0 || res.Trading <= 0 {
+		t.Fatalf("phase accounting missing: rekey %v, trading %v", res.Rekey, res.Trading)
+	}
+	seen := make(map[string]bool)
+	for e, er := range res.Epochs {
+		if er.Rekey <= 0 {
+			t.Errorf("epoch %d reports no re-key cost", e)
+		}
+		for _, cr := range er.Coalitions {
+			if cr.Err != nil {
+				continue
+			}
+			if seen[cr.Name] {
+				t.Errorf("scope %s reused across epochs", cr.Name)
+			}
+			seen[cr.Name] = true
+			if cr.Bytes <= 0 {
+				t.Errorf("coalition %s accounted no traffic", cr.Name)
+			}
+			if cr.Rekey <= 0 {
+				t.Errorf("coalition %s accounted no re-key time", cr.Name)
+			}
+		}
+	}
+}
+
+// TestLiveConservationAcrossChurn is the cross-epoch settlement property:
+// under every churn mix, fleet-wide PEM energy and payments balance to
+// zero across epochs, the cumulative grid legs reconcile with the per-epoch
+// settlements, and a departed agent's position is frozen at its exit epoch.
+func TestLiveConservationAcrossChurn(t *testing.T) {
+	mixes := map[string]dataset.ChurnConfig{
+		"join-only":   {JoinRate: 0.4},
+		"depart-only": {DepartRate: 0.3},
+		"fail-heavy":  {FailRate: 0.35, JoinRate: 0.1},
+		"mixed":       {JoinRate: 0.25, DepartRate: 0.2, FailRate: 0.15},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 600*time.Second)
+	defer cancel()
+	for name, churn := range mixes {
+		t.Run(name, func(t *testing.T) {
+			evo := testEvolution(t, 3, churn)
+			res, err := RunLive(ctx, testLiveConfig(31, 0), evo)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// PEM-internal conservation: what sellers sold, buyers bought;
+			// what buyers paid, sellers earned.
+			if math.Abs(res.EnergyImbalanceKWh) > 1e-9 {
+				t.Errorf("PEM energy imbalance %v kWh", res.EnergyImbalanceKWh)
+			}
+			if math.Abs(res.PaymentImbalanceCents) > 1e-6 {
+				t.Errorf("PEM payment imbalance %v cents", res.PaymentImbalanceCents)
+			}
+
+			// Grid legs reconcile: the sum of per-agent cumulative grid
+			// flows equals the sum of the per-epoch settlements.
+			var posImp, posExp, setImp, setExp float64
+			for _, p := range res.Positions {
+				posImp += p.Flows.GridImportKWh
+				posExp += p.Flows.GridExportKWh
+			}
+			for _, er := range res.Epochs {
+				if er.Settlement == nil {
+					t.Fatalf("epoch %d has no settlement", er.Epoch)
+				}
+				setImp += er.Settlement.Fleet.ImportKWh
+				setExp += er.Settlement.Fleet.ExportKWh
+			}
+			if math.Abs(posImp-setImp) > 1e-6 || math.Abs(posExp-setExp) > 1e-6 {
+				t.Errorf("grid legs diverge: positions import/export %v/%v, settlements %v/%v",
+					posImp, posExp, setImp, setExp)
+			}
+
+			// Leavers freeze at their exit epoch; survivors stay active.
+			exitEpoch := make(map[string]int)
+			exitKind := make(map[string]string)
+			for _, ev := range evo.Events {
+				switch ev.Kind {
+				case dataset.ChurnDepart, dataset.ChurnFail:
+					exitEpoch[ev.ID] = ev.Epoch - 1
+					exitKind[ev.ID] = string(ev.Kind)
+				}
+			}
+			for _, p := range res.Positions {
+				if want, left := exitEpoch[p.ID]; left {
+					if p.Active() || p.ExitEpoch != want || p.ExitKind != exitKind[p.ID] {
+						t.Errorf("leaver %s not frozen at exit: %+v (want exit epoch %d, kind %s)",
+							p.ID, p, want, exitKind[p.ID])
+					}
+				} else if !p.Active() {
+					t.Errorf("survivor %s frozen: %+v", p.ID, p)
+				}
+			}
+		})
+	}
+}
+
+// TestLiveShrinksCoalitionCount: when churn leaves fewer homes than the
+// requested coalitions can fill, the epoch degrades to the largest feasible
+// count instead of aborting the day.
+func TestLiveShrinksCoalitionCount(t *testing.T) {
+	evo, err := dataset.Evolve(dataset.FleetConfig{
+		Coalitions:        1,
+		HomesPerCoalition: 6,
+		Windows:           1,
+		Seed:              8,
+	}, dataset.ChurnConfig{Epochs: 3, DepartRate: 0.4, MinHomes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	cfg := LiveConfig{
+		Grid:       Config{Engine: testEngineConfig(17), MinCoalition: 2},
+		Coalitions: 3,
+	}
+	res, err := RunLive(ctx, cfg, evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, er := range res.Epochs {
+		if max := len(evo.Epochs[e].Trace.Homes) / 2; len(er.Coalitions) > max {
+			t.Errorf("epoch %d: %d coalitions for %d homes", e, len(er.Coalitions), len(evo.Epochs[e].Trace.Homes))
+		}
+		if len(er.Coalitions) == 0 {
+			t.Errorf("epoch %d ran no coalitions", e)
+		}
+	}
+}
+
+// TestLiveCoalitionCapRespectsFloor: degrading the coalition count must
+// account for MinCoalition — 6 homes under the default floor of 3 must run
+// two real 3-agent markets, not fold three 2-agent slivers to the grid.
+func TestLiveCoalitionCapRespectsFloor(t *testing.T) {
+	evo, err := dataset.Evolve(dataset.FleetConfig{
+		Coalitions:        1,
+		HomesPerCoalition: 6,
+		Windows:           1,
+		Seed:              3,
+	}, dataset.ChurnConfig{Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	cfg := LiveConfig{Grid: Config{Engine: testEngineConfig(19)}, Coalitions: 3}
+	res, err := RunLive(ctx, cfg, evo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er := res.Epochs[0]
+	if len(er.Coalitions) != 2 {
+		t.Fatalf("%d coalitions, want 2 (6 homes / floor 3)", len(er.Coalitions))
+	}
+	for _, cr := range er.Coalitions {
+		if cr.Folded || cr.Err != nil || len(cr.Results) != 1 {
+			t.Errorf("coalition %s should have run a real market: folded=%v err=%v", cr.Name, cr.Folded, cr.Err)
+		}
+	}
+}
+
+// TestLiveFailureKeepsCompletedEpochs: a poisoned later epoch aborts the
+// simulation but the completed epochs' results and positions survive.
+func TestLiveFailureKeepsCompletedEpochs(t *testing.T) {
+	evo := testEvolution(t, 3, dataset.ChurnConfig{})
+	evo.Epochs[1].Trace.Gen[0][0] = math.Inf(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	cfg := testLiveConfig(23, 0)
+	cfg.Grid.MinCoalition = 2
+	res, err := RunLive(ctx, cfg, evo)
+	if err == nil {
+		t.Fatal("poisoned live grid returned nil error")
+	}
+	if len(res.Epochs) != 2 {
+		t.Fatalf("%d epochs recorded, want 2 (one complete, one partial)", len(res.Epochs))
+	}
+	if res.Epochs[0].Windows == 0 {
+		t.Error("completed epoch lost its windows")
+	}
+	var anyFailed bool
+	for _, cr := range res.Epochs[1].Coalitions {
+		if cr.failure() {
+			anyFailed = true
+		}
+	}
+	if !anyFailed {
+		t.Error("failed epoch records no failing coalition")
+	}
+}
+
+// TestLiveRejectsBadConfig covers the live-level validation.
+func TestLiveRejectsBadConfig(t *testing.T) {
+	evo := testEvolution(t, 1, dataset.ChurnConfig{})
+	ctx := context.Background()
+	if _, err := RunLive(ctx, LiveConfig{Grid: Config{Engine: testEngineConfig(1)}}, evo); err == nil {
+		t.Error("accepted zero coalitions")
+	}
+	cfg := testLiveConfig(1, 0)
+	cfg.Grid.Engine.Namespace = "mine"
+	if _, err := RunLive(ctx, cfg, evo); err == nil {
+		t.Error("accepted caller-set namespace")
+	}
+	cfg = testLiveConfig(1, 0)
+	cfg.Partition = "zodiac"
+	if _, err := RunLive(ctx, cfg, evo); err == nil {
+		t.Error("accepted unknown partition strategy")
+	}
+	if _, err := RunLive(ctx, testLiveConfig(1, 0), nil); err == nil {
+		t.Error("accepted nil evolution")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := RunLive(cancelled, testLiveConfig(1, 0), evo); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run: err = %v, want context.Canceled", err)
+	}
+}

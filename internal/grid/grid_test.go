@@ -282,7 +282,7 @@ func TestGridFailFastIsolation(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
 	defer cancel()
-	res, err := Run(ctx, Config{Engine: testEngineConfig(3), MaxConcurrent: 1}, tr, parts)
+	res, err := Run(ctx, Config{Engine: testEngineConfig(3), MaxConcurrent: 1, MinCoalition: 2}, tr, parts)
 	if err == nil {
 		t.Fatal("poisoned grid returned nil error")
 	}
@@ -314,7 +314,7 @@ func TestGridNoGoroutineLeak(t *testing.T) {
 	defer cancel()
 
 	// Warm-up run so lazily-started runtime goroutines don't count.
-	if _, err := Run(ctx, Config{Engine: testEngineConfig(7)}, tr, parts); err != nil {
+	if _, err := Run(ctx, Config{Engine: testEngineConfig(7), MinCoalition: 2}, tr, parts); err != nil {
 		t.Fatal(err)
 	}
 	settle := func() int {
@@ -330,7 +330,7 @@ func TestGridNoGoroutineLeak(t *testing.T) {
 	}
 	before := settle()
 	for i := 0; i < 3; i++ {
-		if _, err := Run(ctx, Config{Engine: testEngineConfig(7)}, tr, parts); err != nil {
+		if _, err := Run(ctx, Config{Engine: testEngineConfig(7), MinCoalition: 2}, tr, parts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -376,5 +376,83 @@ func TestGridRejectsBadConfig(t *testing.T) {
 	}
 	if _, err := Run(ctx, Config{Engine: testEngineConfig(1)}, tr, nil); err == nil {
 		t.Error("accepted empty partition")
+	}
+	if _, err := Run(ctx, Config{Engine: testEngineConfig(1), MinCoalition: 1}, tr, parts); err == nil {
+		t.Error("accepted MinCoalition below the engine's two-agent floor")
+	}
+	if _, err := Run(ctx, Config{Engine: testEngineConfig(1), MinCoalition: -3}, tr, parts); err == nil {
+		t.Error("accepted negative MinCoalition")
+	}
+}
+
+// TestGridFoldsSmallCoalition is the regression test for graceful
+// degradation: a coalition below MinCoalition — routine once churn shrinks
+// rosters — must not fail the grid. It is folded into grid settlement
+// (members trade at the tariff), marked ErrCoalitionSkipped with Folded
+// set, and the rest of the grid completes normally.
+func TestGridFoldsSmallCoalition(t *testing.T) {
+	tr := testFleet(t, 2, 4, 2) // 8 homes
+	// Three coalitions of sizes 3, 3, 2: the last is below the default
+	// MinCoalition of 3.
+	parts, err := Partition(StrategyFixed, tr.Homes, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Config{Engine: testEngineConfig(21)}, tr, parts)
+	if err != nil {
+		t.Fatalf("grid with a small coalition failed: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if cr := res.Coalitions[i]; cr.Err != nil || len(cr.Results) != 2 {
+			t.Errorf("coalition %d should have completed: %+v", i, cr.Err)
+		}
+	}
+	folded := res.Coalitions[2]
+	if !folded.Folded {
+		t.Fatalf("coalition 2 not folded: %+v", folded)
+	}
+	if !errors.Is(folded.Err, ErrCoalitionSkipped) {
+		t.Errorf("folded coalition err = %v, want ErrCoalitionSkipped", folded.Err)
+	}
+	if folded.Results != nil {
+		t.Error("folded coalition ran protocol windows")
+	}
+
+	// The stranded members' residuals are their grid-only baseline and are
+	// part of the settlement.
+	sub, err := tr.Select(parts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := market.DefaultParams()
+	var wantImp, wantExp float64
+	for w := 0; w < sub.Windows; w++ {
+		inputs, err := sub.WindowInputs(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := market.BaselineClear(sub.Agents(), inputs, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imp, exp := market.ResidualFromClearing(base)
+		wantImp += imp
+		wantExp += exp
+	}
+	if math.Abs(folded.Residual.ImportKWh-wantImp) > 1e-9 || math.Abs(folded.Residual.ExportKWh-wantExp) > 1e-9 {
+		t.Errorf("folded residual %+v, want import %v export %v", folded.Residual, wantImp, wantExp)
+	}
+	if res.Settlement == nil || len(res.Settlement.PerCoalition) != 3 {
+		t.Fatalf("settlement must include the folded coalition: %+v", res.Settlement)
+	}
+	// MinCoalition 2 runs the same roster as a real market.
+	res2, err := Run(ctx, Config{Engine: testEngineConfig(21), MinCoalition: 2}, tr, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := res2.Coalitions[2]; cr.Folded || cr.Err != nil || len(cr.Results) != 2 {
+		t.Errorf("MinCoalition 2 should run the two-agent coalition: %+v", cr.Err)
 	}
 }

@@ -28,43 +28,122 @@ type Config struct {
 	// crypto parallelism stays bounded by the one shared worker pool either
 	// way.
 	MaxConcurrent int
+	// MinCoalition is the smallest roster the supervisor will run a
+	// private market for (default 3). A coalition below it — routine once
+	// churn shrinks rosters — is not an error: it is folded into grid
+	// settlement instead, its stranded agents trading with the main grid
+	// at the tariff, and marked with ErrCoalitionSkipped. Set to 2 to run
+	// every coalition the partitioner can produce (an engine needs a
+	// counterparty, so 2 is the hard floor).
+	MinCoalition int
+}
+
+// DefaultMinCoalition is the default roster floor for running a private
+// market: below three agents the paper's protocols degenerate (the ring
+// aggregations and pricing game need counterparties beyond the special
+// parties), so two-agent coalitions default to grid-tariff settlement.
+const DefaultMinCoalition = 3
+
+// minCoalition resolves the configured roster floor.
+func (c Config) minCoalition() int {
+	if c.MinCoalition == 0 {
+		return DefaultMinCoalition
+	}
+	return c.MinCoalition
+}
+
+// validate checks the supervisor-level configuration shared by Run and
+// RunLive.
+func (c Config) validate() error {
+	if c.Engine.Namespace != "" {
+		return fmt.Errorf("grid: Engine.Namespace %q is supervisor-managed; leave it empty", c.Engine.Namespace)
+	}
+	if c.MaxConcurrent < 0 {
+		return fmt.Errorf("grid: negative MaxConcurrent %d", c.MaxConcurrent)
+	}
+	if c.MinCoalition < 0 || c.MinCoalition == 1 {
+		return fmt.Errorf("grid: MinCoalition %d out of range (0 = default %d, minimum 2)", c.MinCoalition, DefaultMinCoalition)
+	}
+	return nil
+}
+
+// params resolves the market parameters used for oracle accounting.
+func (c Config) params() market.Params {
+	if c.Engine.Params == (market.Params{}) {
+		return market.DefaultParams()
+	}
+	return c.Engine.Params
 }
 
 // CoalitionRun is the outcome of one coalition's trading day.
 type CoalitionRun struct {
-	// Name is the coalition's supervisor-assigned identifier ("c00", …),
-	// which is also its transport tag namespace.
+	// Name is the coalition's supervisor-assigned identifier ("c00", … for
+	// one-shot grids, "e01-c00", … for live-grid epochs), which is also its
+	// transport tag namespace.
 	Name string
 	// Members are the coalition's home indices into the fleet trace.
 	Members []int
 	// IDs are the members' agent IDs.
 	IDs []string
-	// Results holds the per-window protocol outcomes (nil on failure).
+	// Results holds the per-window protocol outcomes (nil on failure and
+	// for folded coalitions).
 	Results []*core.WindowResult
 	// Residual is the coalition's day-aggregate unmatched energy, computed
 	// from the plaintext oracle clearing exactly like the trading-
-	// performance figures (the private protocols reveal neither side).
+	// performance figures (the private protocols reveal neither side). For
+	// a folded coalition it is the members' full grid-only position.
 	Residual market.CoalitionResidual
+	// Flows is the members' per-agent energy and payment accounting over
+	// the day, from the same oracle clearings as Residual (grid-only
+	// baseline clearings for a folded coalition). The live grid folds it
+	// into cross-epoch positions; one-shot callers may ignore it.
+	Flows map[string]market.AgentFlows
 	// Bytes is the coalition's protocol traffic on the shared bus.
 	Bytes int64
+	// Rekey is the time spent provisioning the coalition's engine — fresh
+	// Paillier key material for every member plus transport registration.
+	// The live grid pays it once per (epoch, coalition); reporting it
+	// separately keeps re-keying cost out of steady-state throughput.
+	Rekey time.Duration
 	// Duration is the coalition-day wall-clock time (engine provisioning
 	// included).
 	Duration time.Duration
+	// Folded marks a coalition that was settled at the grid tariff instead
+	// of running a private market because its roster was below
+	// Config.MinCoalition. Folded coalitions carry ErrCoalitionSkipped in
+	// Err but count as degraded service, not failure: their residuals and
+	// flows are real and included in settlement.
+	Folded bool
 	// Err is the coalition's failure, nil on success. ErrCoalitionSkipped
-	// marks coalitions never launched because an earlier one failed.
+	// marks coalitions never launched — because an earlier coalition
+	// failed, or (with Folded set) because the roster was too small to run.
 	Err error
 }
 
-// ErrCoalitionSkipped marks coalitions not launched because the supervisor
-// stopped admitting work after an earlier coalition failed.
-var ErrCoalitionSkipped = errors.New("grid: coalition skipped after earlier failure")
+// ErrCoalitionSkipped marks coalitions whose private market did not run:
+// either the supervisor stopped admitting work after an earlier coalition
+// failed, or the roster was below Config.MinCoalition and the coalition was
+// folded into grid settlement (distinguished by CoalitionRun.Folded).
+var ErrCoalitionSkipped = errors.New("grid: coalition skipped")
+
+// failure reports whether the coalition genuinely failed — skip markers
+// (launch-stop bookkeeping and too-small-roster folds) are not failures.
+func (cr *CoalitionRun) failure() bool {
+	return cr.Err != nil && !errors.Is(cr.Err, ErrCoalitionSkipped)
+}
+
+// settleable reports whether the coalition produced a residual position to
+// settle: it completed its day, or it was folded to grid-tariff service.
+func (cr *CoalitionRun) settleable() bool {
+	return cr.Err == nil || cr.Folded
+}
 
 // Result is the outcome of a full grid run.
 type Result struct {
 	// Coalitions holds one entry per partition element, in partition order.
 	Coalitions []CoalitionRun
-	// Settlement clears the completed coalitions' residuals against the
-	// grid tariff (nil when no coalition completed).
+	// Settlement clears the completed and folded coalitions' residuals
+	// against the grid tariff (nil when no coalition produced one).
 	Settlement *market.GridSettlement
 	// Windows counts completed trading windows across all coalitions.
 	Windows int
@@ -82,24 +161,14 @@ type Result struct {
 // launching new coalitions, drains the ones in flight, and reports the
 // earliest failed coalition's error. Completed coalitions keep their
 // results, and the returned Result is valid (with per-coalition Err set)
-// even when err is non-nil.
+// even when err is non-nil. Coalitions below Config.MinCoalition are not
+// failures: they are folded into grid settlement (see CoalitionRun.Folded).
 func Run(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int) (*Result, error) {
 	if len(parts) == 0 {
 		return nil, errors.New("grid: empty partition")
 	}
-	if cfg.Engine.Namespace != "" {
-		return nil, fmt.Errorf("grid: Engine.Namespace %q is supervisor-managed; leave it empty", cfg.Engine.Namespace)
-	}
-	if cfg.MaxConcurrent < 0 {
-		return nil, fmt.Errorf("grid: negative MaxConcurrent %d", cfg.MaxConcurrent)
-	}
-	maxConc := cfg.MaxConcurrent
-	if maxConc == 0 || maxConc > len(parts) {
-		maxConc = len(parts)
-	}
-	params := cfg.Engine.Params
-	if params == (market.Params{}) {
-		params = market.DefaultParams()
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 
 	// The shared infrastructure: one bus, one bounded crypto pool. Every
@@ -112,6 +181,58 @@ func Run(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int) (*Re
 
 	start := time.Now()
 	res := &Result{Coalitions: make([]CoalitionRun, len(parts))}
+	for i, members := range parts {
+		res.Coalitions[i] = CoalitionRun{
+			Name:    fmt.Sprintf("c%02d", i),
+			Members: append([]int(nil), members...),
+		}
+	}
+
+	err := launchCoalitions(ctx, cfg.MaxConcurrent, res.Coalitions,
+		func(int) bool { return true },
+		func(_ int, cr *CoalitionRun) { runCoalition(ctx, cfg, bus, workers, tr, cr) })
+	if err != nil {
+		err = fmt.Errorf("grid: %w", err)
+	}
+
+	res.Duration = time.Since(start)
+	var residuals []market.CoalitionResidual
+	for i := range res.Coalitions {
+		cr := &res.Coalitions[i]
+		if cr.settleable() {
+			residuals = append(residuals, cr.Residual)
+		}
+		if cr.Err != nil {
+			continue
+		}
+		res.Windows += len(cr.Results)
+		res.TotalBytes += cr.Bytes
+	}
+	if len(residuals) > 0 {
+		settlement, serr := market.SettleResiduals(residuals, cfg.params())
+		if serr != nil {
+			return res, fmt.Errorf("grid: settlement: %w", serr)
+		}
+		res.Settlement = settlement
+	}
+	if res.Duration > 0 {
+		res.WindowsPerSec = float64(res.Windows) / res.Duration.Seconds()
+	}
+	return res, err
+}
+
+// launchCoalitions runs runOne for every eligible coalition in runs
+// concurrently under the maxConc budget (0 = all), filling each entry in
+// place. A failing coalition cancels only itself; after a genuine failure
+// the launcher stops admitting coalitions and marks the remaining eligible
+// ones skipped. The returned error is the earliest genuine failure
+// ("coalition <name>: …"), or ctx.Err() on a clean cancel. Run drives it
+// with provision-and-trade bodies, the epoch layer with trade-only bodies
+// over pre-keyed engines.
+func launchCoalitions(ctx context.Context, maxConc int, runs []CoalitionRun, eligible func(int) bool, runOne func(int, *CoalitionRun)) error {
+	if maxConc <= 0 || maxConc > len(runs) {
+		maxConc = len(runs)
+	}
 
 	var (
 		mu     sync.Mutex
@@ -119,79 +240,50 @@ func Run(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int) (*Re
 		wg     sync.WaitGroup
 	)
 	sem := make(chan struct{}, maxConc)
-	for i, members := range parts {
-		res.Coalitions[i] = CoalitionRun{
-			Name:    fmt.Sprintf("c%02d", i),
-			Members: append([]int(nil), members...),
+	for i := range runs {
+		if !eligible(i) {
+			continue
 		}
-
 		sem <- struct{}{}
 		mu.Lock()
 		stop := failed
 		mu.Unlock()
 		if stop || ctx.Err() != nil {
 			<-sem
-			for j := i; j < len(parts); j++ {
-				res.Coalitions[j].Name = fmt.Sprintf("c%02d", j)
-				res.Coalitions[j].Members = append([]int(nil), parts[j]...)
-				res.Coalitions[j].Err = ErrCoalitionSkipped
+			for j := i; j < len(runs); j++ {
+				if eligible(j) {
+					runs[j].Err = fmt.Errorf("%w after earlier failure", ErrCoalitionSkipped)
+				}
 			}
 			break
 		}
 		wg.Add(1)
-		go func(cr *CoalitionRun) {
+		go func(i int, cr *CoalitionRun) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			runCoalition(ctx, cfg, bus, workers, tr, params, cr)
-			if cr.Err != nil {
+			runOne(i, cr)
+			if cr.failure() {
 				mu.Lock()
 				failed = true
 				mu.Unlock()
 			}
-		}(&res.Coalitions[i])
+		}(i, &runs[i])
 	}
 	wg.Wait()
 
-	res.Duration = time.Since(start)
-	var residuals []market.CoalitionResidual
-	var firstErr error
-	for i := range res.Coalitions {
-		cr := &res.Coalitions[i]
-		if cr.Err != nil {
-			// Skip markers are bookkeeping, not failures: launches stop both
-			// after a genuine coalition failure (which, having launched
-			// earlier, always precedes the skipped indices and is reported
-			// here) and on context cancellation (reported via ctx.Err below,
-			// so callers can distinguish a clean cancel).
-			if firstErr == nil && !errors.Is(cr.Err, ErrCoalitionSkipped) {
-				firstErr = fmt.Errorf("grid: coalition %s: %w", cr.Name, cr.Err)
-			}
-			continue
+	for i := range runs {
+		if cr := &runs[i]; cr.failure() {
+			return fmt.Errorf("coalition %s: %w", cr.Name, cr.Err)
 		}
-		res.Windows += len(cr.Results)
-		res.TotalBytes += cr.Bytes
-		residuals = append(residuals, cr.Residual)
 	}
-	if len(residuals) > 0 {
-		settlement, err := market.SettleResiduals(residuals, params)
-		if err != nil {
-			return res, fmt.Errorf("grid: settlement: %w", err)
-		}
-		res.Settlement = settlement
-	}
-	if res.Duration > 0 {
-		res.WindowsPerSec = float64(res.Windows) / res.Duration.Seconds()
-	}
-	if firstErr == nil {
-		firstErr = ctx.Err()
-	}
-	return res, firstErr
+	return ctx.Err()
 }
 
 // runCoalition executes one coalition's day: provision an engine over the
 // shared resources, run every window through it, and fold the plaintext
-// oracle's residuals. All outcomes land in cr.
-func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *paillier.Workers, tr *dataset.Trace, params market.Params, cr *CoalitionRun) {
+// oracle's residuals and per-agent flows. A roster below MinCoalition is
+// folded to grid-tariff service instead. All outcomes land in cr.
+func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *paillier.Workers, tr *dataset.Trace, cr *CoalitionRun) {
 	begin := time.Now()
 	defer func() { cr.Duration = time.Since(begin) }()
 
@@ -204,6 +296,11 @@ func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *
 	cr.IDs = make([]string, len(agents))
 	for i, a := range agents {
 		cr.IDs[i] = a.ID
+	}
+
+	if len(agents) < cfg.minCoalition() {
+		foldCoalition(cfg, sub, cr)
+		return
 	}
 
 	jobs := make([]core.WindowJob, sub.Windows)
@@ -223,6 +320,7 @@ func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *
 		cr.Err = fmt.Errorf("provision: %w", err)
 		return
 	}
+	cr.Rekey = time.Since(begin)
 	defer eng.Close()
 
 	results, err := eng.RunWindows(ctx, jobs)
@@ -232,16 +330,58 @@ func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *
 	}
 	cr.Results = results
 	cr.Bytes = bus.Metrics().ScopeBytes(cr.Name)
+	cr.Err = oracleAccounting(cfg, sub, jobs, cr)
+}
 
+// oracleAccounting computes the coalition's residual position and per-agent
+// flows from the plaintext clearing oracle over the already-built window
+// jobs — the harness-side accounting used by every trading-performance
+// figure; the private protocols reveal neither side's totals.
+func oracleAccounting(cfg Config, sub *dataset.Trace, jobs []core.WindowJob, cr *CoalitionRun) error {
+	params := cfg.params()
+	agents := sub.Agents()
 	cr.Residual = market.CoalitionResidual{Coalition: cr.Name}
-	for w := 0; w < sub.Windows; w++ {
+	cr.Flows = make(map[string]market.AgentFlows, len(agents))
+	for w := range jobs {
 		clr, err := market.Clear(agents, jobs[w].Inputs, params)
 		if err != nil {
-			cr.Err = fmt.Errorf("oracle window %d: %w", w, err)
-			return
+			return fmt.Errorf("oracle window %d: %w", w, err)
 		}
 		imp, exp := market.ResidualFromClearing(clr)
 		cr.Residual.ImportKWh += imp
 		cr.Residual.ExportKWh += exp
+		market.AccumulateFlows(cr.Flows, clr, params)
 	}
+	return nil
+}
+
+// foldCoalition settles a too-small coalition at the grid tariff: every
+// member trades only with the main grid (the paper's "without PEM"
+// baseline), the members' grid-only position becomes the coalition
+// residual, and the coalition is marked skipped-but-folded so settlement
+// includes it while failure handling does not.
+func foldCoalition(cfg Config, sub *dataset.Trace, cr *CoalitionRun) {
+	params := cfg.params()
+	agents := sub.Agents()
+	cr.Residual = market.CoalitionResidual{Coalition: cr.Name}
+	cr.Flows = make(map[string]market.AgentFlows, len(agents))
+	for w := 0; w < sub.Windows; w++ {
+		inputs, err := sub.WindowInputs(w)
+		if err != nil {
+			cr.Err = err
+			return
+		}
+		base, err := market.BaselineClear(agents, inputs, params)
+		if err != nil {
+			cr.Err = fmt.Errorf("baseline window %d: %w", w, err)
+			return
+		}
+		imp, exp := market.ResidualFromClearing(base)
+		cr.Residual.ImportKWh += imp
+		cr.Residual.ExportKWh += exp
+		market.AccumulateFlows(cr.Flows, base, params)
+	}
+	cr.Folded = true
+	cr.Err = fmt.Errorf("%w: %d agents below minimum %d, folded into grid settlement",
+		ErrCoalitionSkipped, len(agents), cfg.minCoalition())
 }

@@ -8,15 +8,19 @@ import (
 // Trade is one pairwise transaction: Seller routes Energy kWh to Buyer who
 // pays Payment (cents).
 type Trade struct {
-	Seller  string
-	Buyer   string
-	Energy  float64
+	// Seller and Buyer are the counterparties' agent IDs.
+	Seller, Buyer string
+	// Energy is the delivered quantity (kWh).
+	Energy float64
+	// Payment is what the buyer pays the seller (cents).
 	Payment float64
 }
 
 // AgentOutcome summarizes one agent's window result.
 type AgentOutcome struct {
-	ID   string
+	// ID is the agent.
+	ID string
+	// Role is the agent's classification in this window.
 	Role Role
 	// Net is sn_i^t.
 	Net float64
@@ -26,26 +30,28 @@ type AgentOutcome struct {
 	// GridEnergy is the residual routed to/from the main grid (sold if
 	// seller, bought if buyer).
 	GridEnergy float64
-	// Revenue (sellers) or Cost (buyers) in cents, combining market and
+	// Revenue (sellers) and Cost (buyers) in cents, combining market and
 	// grid legs.
-	Revenue float64
-	Cost    float64
+	Revenue, Cost float64
 }
 
 // Clearing is the full plaintext result of one trading window.
 type Clearing struct {
-	Kind  Kind
-	PHat  float64 // unclamped Eq. 13 price (0 if extreme market or no sellers)
-	Price float64 // effective trading price p*
+	// Kind is the market regime the window cleared under.
+	Kind Kind
+	// PHat is the unclamped Eq. 13 price (0 if extreme market or no
+	// sellers).
+	PHat float64
+	// Price is the effective trading price p*.
+	Price float64
 	// Supply and Demand are E_s and E_b.
-	Supply float64
-	Demand float64
+	Supply, Demand float64
+	// Trades are the pairwise allocations.
 	Trades []Trade
 	// Outcomes indexed by agent position in the input slice.
 	Outcomes []AgentOutcome
 	// SellerIDs and BuyerIDs hold the coalition rosters (sorted).
-	SellerIDs []string
-	BuyerIDs  []string
+	SellerIDs, BuyerIDs []string
 }
 
 // GridInteraction is the total energy exchanged with the main grid in this

@@ -71,8 +71,7 @@ type Params struct {
 	GridRetailPrice float64
 	// PriceFloor and PriceCeil are the PEM range [pl, ph] with
 	// pbtg < pl ≤ p ≤ ph < pstg (Eq. 3).
-	PriceFloor float64
-	PriceCeil  float64
+	PriceFloor, PriceCeil float64
 }
 
 // DefaultParams returns the prices used throughout the paper's evaluation:
@@ -196,9 +195,13 @@ func OptimalLoad(k, epsilon, battery, price float64) float64 {
 
 // SellerParams bundles the per-seller quantities entering the price formula.
 type SellerParams struct {
-	K       float64
+	// K is the seller's preference parameter k_i.
+	K float64
+	// Epsilon is its battery loss coefficient ε_i.
 	Epsilon float64
-	Gen     float64
+	// Gen is its generation g_i for the window (kWh).
+	Gen float64
+	// Battery is its battery schedule b_i for the window (kWh).
 	Battery float64
 }
 

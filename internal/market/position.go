@@ -1,0 +1,250 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Cross-epoch settlement: the live grid (internal/grid/epoch.go) runs many
+// trading days over a churning fleet, and an agent's financial history must
+// survive re-partitioning — it may trade in coalition c02 one epoch and
+// c00 the next, or leave the fleet mid-simulation. This file is the
+// carry-over layer: a PositionBook accumulates every agent's cumulative
+// energy and payment flows across epochs, keyed by agent ID (stable across
+// partitions), and freezes the position when the agent departs or fails.
+// The book only ever sees what the settlement harness already observes —
+// oracle clearings and grid tariffs — never protocol-private data.
+
+// AgentFlows is one agent's energy and payment flows over some horizon
+// (typically one epoch): its PEM-internal trades plus its residual grid
+// legs valued at the tariff. All fields are non-negative accumulations;
+// the buy/sell and paid/earned pairs are kept separate so fleet-level
+// conservation (Σsell = Σbuy, Σearned = Σpaid) stays checkable after any
+// aggregation.
+type AgentFlows struct {
+	// BuyKWh and SellKWh are the agent's PEM-traded energy.
+	BuyKWh, SellKWh float64
+	// PaidCents and EarnedCents are its PEM-internal payments.
+	PaidCents, EarnedCents float64
+	// GridImportKWh and GridExportKWh are its residual grid legs.
+	GridImportKWh, GridExportKWh float64
+	// GridCostCents and GridRevenueCents value the grid legs at the tariff.
+	GridCostCents, GridRevenueCents float64
+}
+
+// add folds another accumulation into f.
+func (f *AgentFlows) add(o AgentFlows) {
+	f.BuyKWh += o.BuyKWh
+	f.SellKWh += o.SellKWh
+	f.PaidCents += o.PaidCents
+	f.EarnedCents += o.EarnedCents
+	f.GridImportKWh += o.GridImportKWh
+	f.GridExportKWh += o.GridExportKWh
+	f.GridCostCents += o.GridCostCents
+	f.GridRevenueCents += o.GridRevenueCents
+}
+
+// AccumulateFlows folds one window's clearing into a per-agent flow map:
+// each trade credits the seller and debits the buyer, and each agent's
+// residual grid leg is valued at the tariff. Callers accumulate a window
+// sequence (a coalition's epoch) into one map and apply it to a
+// PositionBook in a single step.
+func AccumulateFlows(dst map[string]AgentFlows, c *Clearing, params Params) {
+	for _, tr := range c.Trades {
+		s := dst[tr.Seller]
+		s.SellKWh += tr.Energy
+		s.EarnedCents += tr.Payment
+		dst[tr.Seller] = s
+		b := dst[tr.Buyer]
+		b.BuyKWh += tr.Energy
+		b.PaidCents += tr.Payment
+		dst[tr.Buyer] = b
+	}
+	for _, o := range c.Outcomes {
+		if o.GridEnergy <= 0 {
+			continue
+		}
+		f := dst[o.ID]
+		switch o.Role {
+		case RoleBuyer:
+			f.GridImportKWh += o.GridEnergy
+			f.GridCostCents += o.GridEnergy * params.GridRetailPrice
+		case RoleSeller:
+			f.GridExportKWh += o.GridEnergy
+			f.GridRevenueCents += o.GridEnergy * params.GridSellPrice
+		}
+		dst[o.ID] = f
+	}
+}
+
+// AgentPosition is one agent's cumulative position across a live-grid
+// simulation: its lifetime flows plus its membership interval. Positions
+// survive re-partitioning because they are keyed by agent ID, not by
+// coalition.
+type AgentPosition struct {
+	// ID is the agent.
+	ID string
+	// Flows is the cumulative energy/payment accumulation since JoinEpoch.
+	Flows AgentFlows
+	// JoinEpoch is the epoch the agent first traded in (0 for the base
+	// fleet).
+	JoinEpoch int
+	// ExitEpoch is the last epoch the agent traded in, or -1 while the
+	// agent is active. Once set, the position is frozen: applying further
+	// flows to it is an error.
+	ExitEpoch int
+	// ExitKind records how the agent left ("depart" or "fail"; empty while
+	// active). Both freeze the book identically — the grid operator closes
+	// the account either way — but harnesses report them separately.
+	ExitKind string
+}
+
+// Active reports whether the agent is still on the fleet roster.
+func (p AgentPosition) Active() bool { return p.ExitEpoch < 0 }
+
+// NetCents is the agent's cumulative cash position: everything earned
+// (PEM sales plus grid feed-in) minus everything paid (PEM purchases plus
+// grid retail). Negative means the agent paid on balance.
+func (p AgentPosition) NetCents() float64 {
+	return p.Flows.EarnedCents + p.Flows.GridRevenueCents - p.Flows.PaidCents - p.Flows.GridCostCents
+}
+
+// PositionBook tracks per-agent cumulative positions across the epochs of
+// a live grid. It is not safe for concurrent use; the epoch supervisor
+// applies coalition flows sequentially between epochs, which also keeps
+// the floating-point accumulation order — and therefore the book —
+// deterministic.
+type PositionBook struct {
+	params Params
+	byID   map[string]*AgentPosition
+}
+
+// NewPositionBook creates an empty book settling exits at the given tariff.
+func NewPositionBook(params Params) (*PositionBook, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &PositionBook{params: params, byID: make(map[string]*AgentPosition)}, nil
+}
+
+// Join opens a position for an agent entering at the given epoch. Joining
+// an ID that already has an open or frozen position is an error — IDs are
+// unique for the lifetime of a simulation.
+func (b *PositionBook) Join(id string, epoch int) error {
+	if id == "" {
+		return errors.New("market: position for empty agent ID")
+	}
+	if _, ok := b.byID[id]; ok {
+		return fmt.Errorf("market: agent %q already has a position", id)
+	}
+	b.byID[id] = &AgentPosition{ID: id, JoinEpoch: epoch, ExitEpoch: -1}
+	return nil
+}
+
+// Apply folds one epoch's flows into the agents' open positions. Flows for
+// an unknown or frozen agent are an error: a departed agent must never
+// accrue post-exit activity.
+func (b *PositionBook) Apply(epoch int, flows map[string]AgentFlows) error {
+	ids := make([]string, 0, len(flows))
+	for id := range flows {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic accumulation order
+	for _, id := range ids {
+		p, ok := b.byID[id]
+		if !ok {
+			return fmt.Errorf("market: flows for unknown agent %q", id)
+		}
+		if !p.Active() {
+			return fmt.Errorf("market: flows for agent %q frozen at epoch %d", id, p.ExitEpoch)
+		}
+		f := flows[id]
+		for _, v := range []float64{f.BuyKWh, f.SellKWh, f.PaidCents, f.EarnedCents,
+			f.GridImportKWh, f.GridExportKWh, f.GridCostCents, f.GridRevenueCents} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("market: agent %q epoch %d: flow not a non-negative quantity: %+v", id, epoch, f)
+			}
+		}
+		p.Flows.add(f)
+	}
+	return nil
+}
+
+// Exit freezes an agent's position at its last traded epoch, settling any
+// residual energy handed over by the supervisor at the grid tariff:
+// residualImportKWh is drawn at retail, residualExportKWh fed in at the
+// grid's buy price. The residuals are normally zero — each window's grid
+// legs are already valued by AccumulateFlows — and become non-zero only
+// when the agent's final energy could not clear through a market at all
+// (e.g. it was stranded in a coalition too small to run). kind is "depart"
+// (planned) or "fail" (crash); the accounting is identical, the label is
+// reporting. A frozen position rejects all further Apply and Exit calls.
+func (b *PositionBook) Exit(id string, lastEpoch int, kind string, residualImportKWh, residualExportKWh float64) error {
+	p, ok := b.byID[id]
+	if !ok {
+		return fmt.Errorf("market: exit of unknown agent %q", id)
+	}
+	if !p.Active() {
+		return fmt.Errorf("market: agent %q already exited at epoch %d", id, p.ExitEpoch)
+	}
+	if kind != exitDepart && kind != exitFail {
+		return fmt.Errorf("market: unknown exit kind %q", kind)
+	}
+	if residualImportKWh < 0 || residualExportKWh < 0 ||
+		math.IsNaN(residualImportKWh) || math.IsNaN(residualExportKWh) {
+		return fmt.Errorf("market: agent %q exit residual not a non-negative quantity: import=%v export=%v",
+			id, residualImportKWh, residualExportKWh)
+	}
+	p.Flows.GridImportKWh += residualImportKWh
+	p.Flows.GridCostCents += residualImportKWh * b.params.GridRetailPrice
+	p.Flows.GridExportKWh += residualExportKWh
+	p.Flows.GridRevenueCents += residualExportKWh * b.params.GridSellPrice
+	p.ExitEpoch = lastEpoch
+	p.ExitKind = kind
+	return nil
+}
+
+// The exit kinds accepted by Exit. They mirror dataset.ChurnDepart and
+// dataset.ChurnFail without importing the dataset package (which imports
+// this one).
+const (
+	exitDepart = "depart"
+	exitFail   = "fail"
+)
+
+// Position returns one agent's position.
+func (b *PositionBook) Position(id string) (AgentPosition, bool) {
+	p, ok := b.byID[id]
+	if !ok {
+		return AgentPosition{}, false
+	}
+	return *p, true
+}
+
+// Positions returns every agent's position, frozen and active alike,
+// sorted by agent ID.
+func (b *PositionBook) Positions() []AgentPosition {
+	out := make([]AgentPosition, 0, len(b.byID))
+	for _, p := range b.byID {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Conservation returns the book-wide PEM imbalances: traded energy
+// (Σsell − Σbuy, kWh) and internal payments (Σearned − Σpaid, cents).
+// Both are zero up to floating-point noise for any book built from oracle
+// clearings, under every churn mix — energy sold inside the PEM is energy
+// bought inside it, and every cent a buyer pays lands with a seller. Grid
+// legs are flows against the external grid account and are excluded by
+// construction.
+func (b *PositionBook) Conservation() (energyKWh, paymentCents float64) {
+	for _, p := range b.byID {
+		energyKWh += p.Flows.SellKWh - p.Flows.BuyKWh
+		paymentCents += p.Flows.EarnedCents - p.Flows.PaidCents
+	}
+	return energyKWh, paymentCents
+}

@@ -23,17 +23,19 @@ import (
 // general-market windows leave residual demand, its extreme-market windows
 // residual supply).
 type CoalitionResidual struct {
+	// Coalition is the coalition's unique name.
 	Coalition string
-	ImportKWh float64
-	ExportKWh float64
+	// ImportKWh and ExportKWh are the residual demand and supply (kWh).
+	ImportKWh, ExportKWh float64
 }
 
 // CoalitionSettlement is one coalition's residual position valued at the
 // grid tariff.
 type CoalitionSettlement struct {
+	// Coalition is the coalition's unique name ("fleet" for the total).
 	Coalition string
-	ImportKWh float64
-	ExportKWh float64
+	// ImportKWh and ExportKWh are the settled residual quantities (kWh).
+	ImportKWh, ExportKWh float64
 	// ImportCost = ImportKWh · GridRetailPrice (cents).
 	ImportCost float64
 	// ExportRevenue = ExportKWh · GridSellPrice (cents).

@@ -67,6 +67,7 @@ type PrivateKey struct {
 
 // Ciphertext is a Paillier ciphertext c ∈ Z*_{n²}.
 type Ciphertext struct {
+	// C is the ciphertext value.
 	C *big.Int
 }
 

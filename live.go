@@ -1,0 +1,163 @@
+package pem
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/pem-go/pem/internal/dataset"
+	"github.com/pem-go/pem/internal/grid"
+	"github.com/pem-go/pem/internal/market"
+)
+
+// This file is the public face of the live (epoched) grid: a multi-day
+// simulation over a churning fleet. Prosumers join, depart and fail at
+// epoch boundaries; each epoch re-partitions the surviving-plus-new roster
+// and re-keys every coalition over the shared crypto and transport
+// infrastructure, and per-agent settlement carries across epochs. It
+// mirrors the Grid API: configure, construct, Run.
+
+// Re-exported live-grid model types.
+type (
+	// ChurnConfig controls the seeded churn model of a live grid (join,
+	// depart and fail rates per epoch boundary).
+	ChurnConfig = dataset.ChurnConfig
+	// ChurnEvent is one fleet-membership change at an epoch boundary.
+	ChurnEvent = dataset.ChurnEvent
+	// ChurnEventKind classifies a churn event (join, depart or fail).
+	ChurnEventKind = dataset.ChurnEventKind
+	// AgentFlows is one agent's cumulative energy and payment flows.
+	AgentFlows = market.AgentFlows
+	// AgentPosition is one agent's cumulative cross-epoch position,
+	// frozen at its exit epoch if it left the fleet.
+	AgentPosition = market.AgentPosition
+	// EpochResult is one epoch's outcome inside a LiveGridResult.
+	EpochResult = grid.EpochResult
+	// LiveGridResult is the outcome of a full live-grid simulation.
+	LiveGridResult = grid.LiveResult
+)
+
+// Churn event kinds (ChurnEvent.Kind).
+const (
+	// ChurnJoin marks a prosumer entering the fleet at an epoch boundary.
+	ChurnJoin = dataset.ChurnJoin
+	// ChurnDepart marks a planned departure: the agent finishes its epoch
+	// and settles its cumulative position on exit.
+	ChurnDepart = dataset.ChurnDepart
+	// ChurnFail marks a crash-style failure; settlement freezes the
+	// position exactly like a departure.
+	ChurnFail = dataset.ChurnFail
+)
+
+// DefaultMinCoalition is the smallest roster a coalition needs to run a
+// private market; smaller coalitions are folded into grid settlement (see
+// GridConfig.MinCoalition).
+const DefaultMinCoalition = grid.DefaultMinCoalition
+
+// LiveGridConfig configures a live (epoched) coalition grid.
+type LiveGridConfig struct {
+	// Market is the per-coalition market configuration, exactly as for
+	// GridConfig. When Market.Seed is set the whole simulation is
+	// deterministic, with fresh (but reproducible) key material derived
+	// per epoch.
+	Market Config
+	// Coalitions is the target coalition count per epoch (required). When
+	// churn shrinks the fleet too far, an epoch runs with the largest
+	// count its roster can fill.
+	Coalitions int
+	// Partition selects the per-epoch partition strategy: PartitionFixed
+	// (default), PartitionRandom or PartitionBalanced. Every epoch
+	// re-partitions the surviving-plus-new roster from scratch.
+	Partition string
+	// PartitionSeed feeds PartitionRandom (defaults to *Market.Seed when
+	// set); per-epoch seeds are derived from it.
+	PartitionSeed int64
+	// MaxConcurrentCoalitions is the per-epoch in-flight budget (default:
+	// all). Outcomes are bit-identical at any setting when Market.Seed is
+	// set.
+	MaxConcurrentCoalitions int
+	// MinCoalition is the smallest roster that still runs a private
+	// market (default DefaultMinCoalition). Coalitions churned below it
+	// are folded into grid settlement instead of failing the epoch.
+	MinCoalition int
+	// Epochs is the number of trading days to simulate (required, ≥ 1).
+	Epochs int
+	// Churn configures the churn model applied at each epoch boundary.
+	// Its Epochs field is set from the Epochs field above; its Seed
+	// defaults to the fleet seed.
+	Churn ChurnConfig
+}
+
+// LiveGrid is a fleet evolution ready to trade: the churn schedule and
+// every epoch's roster and trace are fixed at construction, so the
+// simulation's membership history is inspectable before any protocol runs.
+type LiveGrid struct {
+	cfg grid.LiveConfig
+	evo *dataset.Evolution
+}
+
+// NewLiveGrid validates the config and synthesizes the fleet evolution:
+// the base fleet from the fleet config, then Epochs−1 seeded churn
+// boundaries. The evolution is deterministic given the fleet seed and the
+// churn config; a statically-bad config (unknown partition strategy,
+// negative budgets) fails here, before any protocol runs.
+func NewLiveGrid(cfg LiveGridConfig, fleet FleetConfig) (*LiveGrid, error) {
+	if cfg.Epochs < 1 {
+		return nil, fmt.Errorf("pem: LiveGridConfig.Epochs must be ≥ 1, got %d", cfg.Epochs)
+	}
+	seed := cfg.PartitionSeed
+	if seed == 0 && cfg.Market.Seed != nil {
+		seed = *cfg.Market.Seed
+	}
+	lcfg := grid.LiveConfig{
+		Grid: grid.Config{
+			Engine:        cfg.Market.coreConfig(),
+			MaxConcurrent: cfg.MaxConcurrentCoalitions,
+			MinCoalition:  cfg.MinCoalition,
+		},
+		Coalitions:    cfg.Coalitions,
+		Partition:     grid.Strategy(cfg.Partition),
+		PartitionSeed: seed,
+	}
+	if err := lcfg.Validate(); err != nil {
+		return nil, fmt.Errorf("pem: %w", err)
+	}
+	churn := cfg.Churn
+	churn.Epochs = cfg.Epochs
+	evo, err := dataset.Evolve(fleet, churn)
+	if err != nil {
+		return nil, fmt.Errorf("pem: %w", err)
+	}
+	return &LiveGrid{cfg: lcfg, evo: evo}, nil
+}
+
+// Events returns the full churn schedule, ordered by epoch: which agents
+// join, depart and fail at each boundary. Fixed at construction.
+func (lg *LiveGrid) Events() []ChurnEvent {
+	return append([]ChurnEvent(nil), lg.evo.Events...)
+}
+
+// Rosters returns each epoch's roster as agent IDs, in epoch order.
+func (lg *LiveGrid) Rosters() [][]string {
+	out := make([][]string, len(lg.evo.Epochs))
+	for e, ef := range lg.evo.Epochs {
+		out[e] = make([]string, len(ef.Trace.Homes))
+		for i, h := range ef.Trace.Homes {
+			out[e][i] = h.ID
+		}
+	}
+	return out
+}
+
+// Run executes the live simulation: one trading day per epoch, with
+// re-partitioning and coalition re-keying at every churn boundary and
+// settlement carried across epochs per agent. Epochs run in order; within
+// an epoch coalitions run concurrently with the one-shot grid's fail-fast
+// semantics. On failure the returned LiveGridResult still carries all
+// completed epochs plus the partial one.
+func (lg *LiveGrid) Run(ctx context.Context) (*LiveGridResult, error) {
+	res, err := grid.RunLive(ctx, lg.cfg, lg.evo)
+	if err != nil {
+		return res, fmt.Errorf("pem: %w", err)
+	}
+	return res, nil
+}

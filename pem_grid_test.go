@@ -162,9 +162,9 @@ func TestGridBitIdenticalAcrossConcurrency(t *testing.T) {
 func TestNewGridValidation(t *testing.T) {
 	tr := testFleetTrace(t, 2, 2, 1)
 	cases := map[string]pem.GridConfig{
-		"no-coalitions":  {Market: pem.Config{KeyBits: 256}},
-		"too-many":       {Market: pem.Config{KeyBits: 256}, Coalitions: 3},
-		"unknown-split":  {Market: pem.Config{KeyBits: 256}, Coalitions: 2, Partition: "zodiac"},
+		"no-coalitions": {Market: pem.Config{KeyBits: 256}},
+		"too-many":      {Market: pem.Config{KeyBits: 256}, Coalitions: 3},
+		"unknown-split": {Market: pem.Config{KeyBits: 256}, Coalitions: 2, Partition: "zodiac"},
 		"negative-budget": {
 			Market: pem.Config{KeyBits: 256}, Coalitions: 2, MaxConcurrentCoalitions: -1,
 		},
