@@ -250,6 +250,52 @@ func BenchmarkLiveGrid(b *testing.B) {
 	b.ReportMetric(float64(res.Rekey.Milliseconds())/float64(len(res.Epochs)), "rekey-ms/epoch")
 }
 
+// --- Network emulation: communication cost on virtual WAN links ---
+//
+// BenchmarkNetEm runs the full protocol window over the deterministic
+// network-emulation layer. The virtual clock is event-driven — no
+// wall-clock sleeps — so the wan and cellular cases run at the same real
+// speed as lan while reporting seconds of virtual critical-path latency;
+// virt-ms/window and rounds surface both. Tree aggregation cuts the round
+// count on every topology (asserted by TestTreeBeatsRingOnWAN in
+// internal/core).
+func BenchmarkNetEm(b *testing.B) {
+	for _, network := range []string{pem.NetworkLAN, pem.NetworkWAN, pem.NetworkCellular} {
+		for _, agg := range []string{pem.AggregationRing, pem.AggregationTree} {
+			b.Run(fmt.Sprintf("net=%s/agg=%s", network, agg), func(b *testing.B) {
+				tr := benchTrace(b, 12, 720)
+				seed := int64(23)
+				m, err := pem.NewMarket(pem.Config{
+					KeyBits:     512,
+					Seed:        &seed,
+					Aggregation: agg,
+					Network:     network,
+				}, tr.Agents())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer m.Close()
+				ctx := context.Background()
+				inputs, err := tr.WindowInputs(tr.Windows / 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var res *pem.WindowResult
+				for i := 0; i < b.N; i++ {
+					if res, err = m.RunWindow(ctx, i, inputs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(res.VirtualLatency.Milliseconds()), "virt-ms/window")
+				b.ReportMetric(float64(res.Rounds), "rounds")
+				b.ReportMetric(float64(res.Messages), "msgs/window")
+			})
+		}
+	}
+}
+
 // --- Intra-window parallel crypto engine: worker-count sweep ---
 //
 // Pipelining (above) overlaps whole windows; the parallel engine speeds up

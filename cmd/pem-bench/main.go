@@ -12,6 +12,7 @@
 //	pem-bench -fig par          # sequential vs parallel window comparison
 //	pem-bench -fig grid         # sharded coalition grid throughput sweep
 //	pem-bench -fig live         # epoched live grid under agent churn
+//	pem-bench -fig net          # communication cost on emulated networks
 //	pem-bench -table 1          # average bandwidth by key size
 //	pem-bench -all              # everything
 //
@@ -37,6 +38,13 @@
 // crash failures), re-partitioning and re-keying every epoch. Re-key cost
 // is reported separately from steady-state window throughput, and the
 // cross-epoch settlement conservation checks are printed at the end.
+//
+// The net figure prices the protocols on deterministic emulated networks:
+// the same trading-day slice swept over the topology presets (lan, metro,
+// wan, cellular, lossy — restrict with -net) × aggregation topology (ring
+// vs tree), reporting message counts, bytes, protocol round counts and
+// critical-path virtual latency. The emulation runs on an event-time
+// virtual clock, so even the WAN rows finish at in-memory-bus speed.
 package main
 
 import (
@@ -76,12 +84,13 @@ type options struct {
 	csvPath   string
 	epochs    int
 	churn     float64
+	network   string
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("pem-bench", flag.ContinueOnError)
 	var opt options
-	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d, pipe, par")
+	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d, pipe, par, grid, live, net")
 	fs.IntVar(&opt.table, "table", 0, "table to regenerate: 1")
 	fs.BoolVar(&opt.all, "all", false, "regenerate every figure and table")
 	fs.BoolVar(&opt.full, "full", false, "paper scale (slow) instead of laptop scale")
@@ -98,6 +107,7 @@ func run(args []string) error {
 	fs.StringVar(&opt.csvPath, "csv", "", "also write the grid/live sweep to this CSV file")
 	fs.IntVar(&opt.epochs, "epochs", 4, "trading days to simulate in the live figure")
 	fs.Float64Var(&opt.churn, "churn", 0.2, "fleet turnover per epoch boundary in the live figure")
+	fs.StringVar(&opt.network, "net", "", "restrict the net figure to one topology preset (lan, metro, wan, cellular, lossy); empty sweeps all")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,12 +129,13 @@ func run(args []string) error {
 		"par":  parComparison,
 		"grid": figGrid,
 		"live": figLive,
+		"net":  figNet,
 		"t1":   table1,
 	}
 	var targets []string
 	switch {
 	case opt.all:
-		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "live", "t1"}
+		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "live", "net", "t1"}
 	case opt.table == 1:
 		targets = []string{"t1"}
 	case opt.table != 0:
@@ -563,7 +574,7 @@ func figGrid(o options) error {
 		"coalitions", "total runtime", "windows/sec", "speedup", "import kWh", "export kWh", "netting gain")
 	rows := [][]string{{
 		"coalitions", "partition", "homes", "windows", "keybits",
-		"total_ms", "windows_per_sec", "speedup", "bytes",
+		"total_ms", "windows_per_sec", "speedup", "bytes", "msgs",
 		"import_kwh", "export_kwh", "matched_kwh", "netting_gain_cents",
 	}}
 	var baseline float64
@@ -602,6 +613,7 @@ func figGrid(o options) error {
 			fmt.Sprintf("%.3f", res.WindowsPerSec),
 			fmt.Sprintf("%.3f", speedup),
 			fmt.Sprint(res.TotalBytes),
+			fmt.Sprint(res.TotalMessages),
 			fmt.Sprintf("%.4f", fleet.ImportKWh),
 			fmt.Sprintf("%.4f", fleet.ExportKWh),
 			fmt.Sprintf("%.4f", res.Settlement.MatchedKWh),
@@ -609,6 +621,135 @@ func figGrid(o options) error {
 		})
 	}
 	fmt.Println("(same fleet at every row; aggregate throughput across concurrent coalition markets)")
+	if o.csvPath != "" {
+		if err := writeCSV(o.csvPath, rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.csvPath)
+	}
+	return nil
+}
+
+// netDayStats aggregates one emulated trading day for the net figure.
+type netDayStats struct {
+	msgs, bytes int64
+	roundsMax   int
+	virtDay     time.Duration
+	wall        time.Duration
+	phaseMsgs   map[string]int64
+	windowsRun  int
+}
+
+// runNetworkedDay runs a midday slice of the trading day over one emulated
+// topology and aggregation, returning its communication-cost profile. The
+// virtual clock prices every message against the topology's seeded link
+// models, so the wall-clock column stays at in-memory-bus speed while the
+// virtual columns report what a real deployment would wait out.
+func runNetworkedDay(o options, homes, windows, keyBits int, topology, agg string) (*netDayStats, error) {
+	tr, err := o.trace(homes, 720)
+	if err != nil {
+		return nil, err
+	}
+	first := 360 - windows/2
+	if first < 0 || windows > 720 {
+		first = 0
+	}
+	inputs := make([][]pem.WindowInput, windows)
+	for w := 0; w < windows; w++ {
+		idx := first + w
+		if idx >= tr.Windows {
+			idx = tr.Windows - 1
+		}
+		if inputs[w], err = tr.WindowInputs(idx); err != nil {
+			return nil, err
+		}
+	}
+	seed := o.seed
+	m, err := pem.NewMarket(pem.Config{
+		KeyBits:            keyBits,
+		Seed:               &seed,
+		MaxInflightWindows: o.inflight,
+		CryptoWorkers:      o.cryptoWrk,
+		Aggregation:        agg,
+		Network:            topology,
+	}, tr.Agents())
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	start := time.Now()
+	results, err := m.RunWindows(context.Background(), inputs)
+	if err != nil {
+		return nil, err
+	}
+	st := &netDayStats{wall: time.Since(start), windowsRun: len(results)}
+	for _, res := range results {
+		st.msgs += res.Messages
+		st.bytes += res.BytesOnWire
+		st.virtDay += res.VirtualLatency
+		if res.Rounds > st.roundsMax {
+			st.roundsMax = res.Rounds
+		}
+	}
+	st.phaseMsgs = m.Metrics().PhaseMessages()
+	return st, nil
+}
+
+// figNet prices the protocols on emulated networks: the same midday day
+// slice swept over every topology preset × aggregation topology, reporting
+// message counts (total and per protocol phase), bytes, critical-path round
+// counts and virtual latency. The headline contrast is ring vs tree on the
+// high-latency presets — the log-depth tree cuts the round count, so its
+// virtual day is far shorter even though both move the same bytes. Virtual
+// time is event-driven (no wall-clock sleeps): the wall column stays at
+// crypto speed under every topology.
+func figNet(o options) error {
+	homes, windows := o.scale(48, 8, 8, 2)
+	keyBits := 512
+	if o.full {
+		keyBits = 1024
+	}
+	if o.keyBits > 0 {
+		keyBits = o.keyBits
+	}
+	topologies := pem.NetworkPresets()
+	if o.network != "" {
+		topologies = []string{o.network}
+	}
+
+	header(fmt.Sprintf("Communication cost on emulated networks — %d agents, %d windows, %d-bit keys", homes, windows, keyBits))
+	fmt.Printf("%10s %6s %8s %8s %10s %14s %14s %12s\n",
+		"topology", "agg", "rounds", "msgs/w", "MB/w", "virt/window", "virt day", "wall")
+	rows := [][]string{{
+		"topology", "agg", "homes", "windows", "keybits",
+		"msgs", "bytes", "rounds_max", "virt_ms_per_window", "virt_ms_day", "wall_ms",
+		"msgs_role", "msgs_pme", "msgs_pp", "msgs_pd",
+	}}
+	for _, topology := range topologies {
+		for _, agg := range []string{pem.AggregationRing, pem.AggregationTree} {
+			st, err := runNetworkedDay(o, homes, windows, keyBits, topology, agg)
+			if err != nil {
+				return fmt.Errorf("topology=%s agg=%s: %w", topology, agg, err)
+			}
+			perWindow := st.virtDay / time.Duration(st.windowsRun)
+			fmt.Printf("%10s %6s %8d %8d %10.3f %14s %14s %12s\n",
+				topology, agg, st.roundsMax,
+				st.msgs/int64(st.windowsRun),
+				float64(st.bytes)/float64(st.windowsRun)/1e6,
+				perWindow.Round(time.Millisecond), st.virtDay.Round(time.Millisecond),
+				st.wall.Round(time.Millisecond))
+			rows = append(rows, []string{
+				topology, agg, fmt.Sprint(homes), fmt.Sprint(st.windowsRun), fmt.Sprint(keyBits),
+				fmt.Sprint(st.msgs), fmt.Sprint(st.bytes), fmt.Sprint(st.roundsMax),
+				fmt.Sprintf("%.3f", float64(perWindow)/1e6),
+				fmt.Sprintf("%.3f", float64(st.virtDay)/1e6),
+				fmt.Sprint(st.wall.Milliseconds()),
+				fmt.Sprint(st.phaseMsgs["role"]), fmt.Sprint(st.phaseMsgs["pme"]),
+				fmt.Sprint(st.phaseMsgs["pp"]), fmt.Sprint(st.phaseMsgs["pd"]),
+			})
+		}
+	}
+	fmt.Println("(virtual columns are event-time over the emulated links; wall is real elapsed time — no sleeps)")
 	if o.csvPath != "" {
 		if err := writeCSV(o.csvPath, rows); err != nil {
 			return err
@@ -686,7 +827,7 @@ func figLive(o options) error {
 		"epoch", "agents", "churn (+/-/x)", "markets", "rekey", "trading", "windows/sec", "bytes")
 	rows := [][]string{{
 		"epoch", "agents", "joined", "departed", "failed", "coalitions", "folded",
-		"windows", "rekey_ms", "trading_ms", "windows_per_sec", "bytes",
+		"windows", "rekey_ms", "trading_ms", "windows_per_sec", "bytes", "msgs",
 	}}
 	for _, er := range res.Epochs {
 		var folded int
@@ -711,7 +852,7 @@ func figLive(o options) error {
 			fmt.Sprint(len(er.Coalitions)), fmt.Sprint(folded),
 			fmt.Sprint(er.Windows),
 			fmt.Sprint(er.Rekey.Milliseconds()), fmt.Sprint(er.Trading.Milliseconds()),
-			fmt.Sprintf("%.3f", wps), fmt.Sprint(er.Bytes),
+			fmt.Sprintf("%.3f", wps), fmt.Sprint(er.Bytes), fmt.Sprint(er.Msgs),
 		})
 	}
 

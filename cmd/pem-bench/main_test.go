@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 )
 
@@ -75,6 +76,62 @@ func TestRunTinyGrid(t *testing.T) {
 	}
 	if err := run([]string{"-fig", "grid", "-homes", "8", "-windows", "1", "-partition", "spiral"}); err == nil {
 		t.Error("unknown partition strategy accepted")
+	}
+}
+
+func TestRunTinyNet(t *testing.T) {
+	// The communication-cost figure end to end at tiny scale over the wan
+	// preset: ring and tree rows with CSV output, and the acceptance check
+	// that tree aggregation beats the ring on a high-latency topology in
+	// both rounds and virtual latency.
+	path := filepath.Join(t.TempDir(), "net.csv")
+	err := run([]string{
+		"-fig", "net", "-homes", "6", "-windows", "1", "-keybits", "256",
+		"-net", "wan", "-csv", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + ring + tree.
+	if len(rows) != 3 || rows[0][0] != "topology" || rows[1][1] != "ring" || rows[2][1] != "tree" {
+		t.Fatalf("csv shape wrong: %v", rows)
+	}
+	col := func(name string) int {
+		for i, h := range rows[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing from %v", name, rows[0])
+		return -1
+	}
+	num := func(row int, name string) float64 {
+		v, err := strconv.ParseFloat(rows[row][col(name)], 64)
+		if err != nil {
+			t.Fatalf("row %d %s: %v", row, name, err)
+		}
+		return v
+	}
+	if num(2, "rounds_max") >= num(1, "rounds_max") {
+		t.Errorf("tree rounds %v not below ring rounds %v on wan", num(2, "rounds_max"), num(1, "rounds_max"))
+	}
+	if num(2, "virt_ms_day") >= num(1, "virt_ms_day") {
+		t.Errorf("tree virtual day %v not below ring %v on wan", num(2, "virt_ms_day"), num(1, "virt_ms_day"))
+	}
+	if num(1, "msgs") == 0 || num(1, "msgs_pd") == 0 {
+		t.Error("message-count columns empty")
+	}
+	if err := run([]string{"-fig", "net", "-net", "dialup", "-homes", "6", "-windows", "1", "-keybits", "256"}); err == nil {
+		t.Error("unknown topology preset accepted")
 	}
 }
 

@@ -71,10 +71,11 @@ var ErrCoalitionSkipped = grid.ErrCoalitionSkipped
 type GridConfig struct {
 	// Market is the per-coalition market configuration: every coalition
 	// runs a full private market under it (key size, pipeline depth,
-	// crypto workers, aggregation topology, seed). The crypto worker pool
-	// is shared across coalitions, so CryptoWorkers bounds the whole
-	// process. RecordLedger is ignored: grid runs return per-window results
-	// and leave ledgering to the caller.
+	// crypto workers, aggregation topology, network emulation, seed). The
+	// crypto worker pool is shared across coalitions, so CryptoWorkers
+	// bounds the whole process. RecordLedger is ignored: each completed
+	// coalition-day instead carries its own tamper-evident chain in
+	// CoalitionRun.Ledger, committed on the settlement path.
 	Market Config
 	// Coalitions is how many coalitions to partition the fleet into
 	// (required; every coalition needs at least two agents).

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/netem"
 	"github.com/pem-go/pem/internal/ot"
 	"github.com/pem-go/pem/internal/paillier"
 	"github.com/pem-go/pem/internal/transport"
@@ -94,6 +95,14 @@ type Config struct {
 	// concurrent coalitions sharing one bus can reuse window numbers
 	// without cross-talk and keep disjoint byte accounting.
 	Namespace string
+	// Network selects a network-emulation topology preset (see
+	// netem.Presets: "lan", "metro", "wan", "cellular", "lossy"). When set,
+	// every endpoint is wrapped in the deterministic emulation layer: all
+	// window traffic is priced against seeded per-link latency, jitter,
+	// bandwidth and loss models on a virtual clock — no wall-clock sleeps —
+	// and each WindowResult reports its critical-path virtual latency and
+	// protocol round count. Empty disables emulation.
+	Network string
 	// Seed, when non-nil, makes the whole engine deterministic: party
 	// randomness is derived from it. Production deployments leave it nil
 	// (crypto/rand).
@@ -154,6 +163,9 @@ func (c Config) Validate() error {
 	if c.Namespace != "" && !transport.ValidScope(c.Namespace) {
 		return fmt.Errorf("core: invalid namespace %q (letters, digits, '.', '_', '-'; not a w<n> window prefix)", c.Namespace)
 	}
+	if c.Network != "" && !netem.ValidPreset(c.Network) {
+		return fmt.Errorf("core: unknown network topology %q (have %v)", c.Network, netem.Presets())
+	}
 	return c.Params.Validate()
 }
 
@@ -176,6 +188,7 @@ func (c Config) Validate() error {
 type Engine struct {
 	cfg     Config
 	bus     *transport.Bus
+	network *netem.Network // nil unless Config.Network selects a topology
 	workers *paillier.Workers
 	parties []*Party
 	agents  []market.Agent
@@ -241,6 +254,26 @@ func NewEngineWith(cfg Config, agents []market.Agent, res Resources) (*Engine, e
 		agents: append([]market.Agent(nil), agents...),
 	}
 
+	// Network emulation: every endpoint of this engine is wrapped in the
+	// virtual-clock layer. The network is engine-owned even over a shared
+	// bus — its state is keyed by this engine's tag scope, so sibling
+	// coalitions never interact — and it records virtual latency and round
+	// counts into the bus's metrics sink next to the byte accounting.
+	if cfg.Network != "" {
+		topo, err := netem.Preset(cfg.Network)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		var netSeed int64
+		if cfg.Seed != nil {
+			netSeed = *cfg.Seed
+		}
+		e.network, err = netem.New(topo, netSeed, bus.Metrics())
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
 	// One crypto worker pool for the whole fleet: key generation,
 	// intra-window parallel decryption and batch scalar multiplication all
 	// run across it, so total CPU parallelism stays bounded by the pool
@@ -283,6 +316,9 @@ func NewEngineWith(cfg Config, agents []market.Agent, res Resources) (*Engine, e
 		if err != nil {
 			e.releaseParties()
 			return nil, err
+		}
+		if e.network != nil {
+			conn = e.network.Wrap(conn)
 		}
 		e.parties[i] = newParty(cfg, a, conn, keys[i], dir, e.workers)
 	}
@@ -391,6 +427,17 @@ type WindowResult struct {
 	Duration time.Duration
 	// BytesOnWire is the transport traffic generated by the window.
 	BytesOnWire int64
+	// Messages is the number of protocol messages the window put on the
+	// wire, across all parties.
+	Messages int64
+	// VirtualLatency is the window's critical-path latency on the emulated
+	// network (Config.Network): the longest chain of link delays any party
+	// waited out, measured on the virtual clock. Zero on unemulated runs.
+	VirtualLatency time.Duration
+	// Rounds is the window's protocol round count on the emulated network:
+	// the longest chain of sequentially dependent messages. Zero on
+	// unemulated runs.
+	Rounds int
 }
 
 // runOne executes Protocol 1 for one window: it hands each party its
@@ -402,7 +449,14 @@ func (e *Engine) runOne(ctx context.Context, window int, inputs []market.WindowI
 		return nil, fmt.Errorf("core: %d inputs for %d parties", len(inputs), len(e.parties))
 	}
 	startBytes := e.bus.Metrics().ScopedWindowBytes(e.cfg.Namespace, window)
+	startMsgs := e.bus.Metrics().ScopedWindowMessages(e.cfg.Namespace, window)
 	start := time.Now()
+	if e.network != nil {
+		// Drop the window's virtual-clock state once it completes (stats are
+		// read before the deferred release fires), failed windows included:
+		// netem memory stays bounded by the windows in flight.
+		defer e.network.ReleaseWindow(e.cfg.Namespace, window)
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -434,6 +488,15 @@ func (e *Engine) runOne(ctx context.Context, window int, inputs []market.WindowI
 		Window:      window,
 		Duration:    time.Since(start),
 		BytesOnWire: e.bus.Metrics().ScopedWindowBytes(e.cfg.Namespace, window) - startBytes,
+		Messages:    e.bus.Metrics().ScopedWindowMessages(e.cfg.Namespace, window) - startMsgs,
+	}
+	if e.network != nil {
+		// Read the window's virtual maxima from the live lanes; the
+		// deferred release (above) then drops them, so the result reflects
+		// only this run even if a caller reuses the window number later.
+		// (The metrics sink keeps the recorded maxima for scope-level
+		// aggregation, with WindowBytes' re-run caveat.)
+		res.VirtualLatency, res.Rounds = e.network.WindowStats(e.cfg.Namespace, window)
 	}
 	// All parties observed the same public outcome; adopt the first
 	// report and cross-check the rest.

@@ -118,7 +118,7 @@ func (r *windowRun) pricingRingStep(ctx context.Context, tag string, kContrib, t
 	if pos+1 < len(order) {
 		next = order[pos+1]
 	}
-	payload, err := encodeCipherPair(accK, accT)
+	payload, err := encodeCipherPair(r.dir[ros.hb], accK, accT)
 	if err != nil {
 		return err
 	}

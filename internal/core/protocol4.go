@@ -10,6 +10,7 @@ import (
 
 	"github.com/pem-go/pem/internal/fixed"
 	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/netem"
 	"github.com/pem-go/pem/internal/paillier"
 )
 
@@ -121,7 +122,7 @@ func (r *windowRun) distributionAggregate(ctx context.Context, demandSide []stri
 
 	// Root: broadcast the encrypted total within the demand side; its own
 	// copy is handed to sendMaskedReciprocal through the window state.
-	out, err := acc.MarshalBinary()
+	out, err := acc.MarshalFixed(r.dir[hs])
 	if err != nil {
 		return err
 	}
@@ -167,7 +168,7 @@ func (r *windowRun) distributionRingFold(ctx context.Context, demandSide []strin
 	}
 
 	if pos+1 < len(demandSide) {
-		out, err := acc.MarshalBinary()
+		out, err := acc.MarshalFixed(r.dir[hs])
 		if err != nil {
 			return nil, false, err
 		}
@@ -202,7 +203,7 @@ func (r *windowRun) sendMaskedReciprocal(ctx context.Context, hs, tagTotal, tagM
 	if err != nil {
 		return fmt.Errorf("distribution: scalar mul: %w", err)
 	}
-	payload, err := masked.MarshalBinary()
+	payload, err := masked.MarshalFixed(r.dir[hs])
 	if err != nil {
 		return err
 	}
@@ -293,6 +294,12 @@ func (r *windowRun) routeAndPay(ctx context.Context, kind market.Kind, price flo
 	tagEnergy := r.tag("pd/energy")
 	tagReply := r.tag("pd/reply")
 
+	// Fork the virtual clock once, at this deterministic point, and give
+	// every concurrent exchange its own branch: a reply's virtual timestamp
+	// then depends only on the request that exchange received, never on how
+	// sibling exchanges happened to interleave in real time.
+	forked := r.forkVirtual(ctx)
+
 	switch {
 	case contains(supplySide, r.ID()):
 		myShare := r.snFixed.Abs().Float()
@@ -303,7 +310,7 @@ func (r *windowRun) routeAndPay(ctx context.Context, kind market.Kind, price flo
 		var wg sync.WaitGroup
 		for i, id := range ids {
 			wg.Add(1)
-			go func(i int, id string) {
+			go func(i int, id string, ctx context.Context) {
 				defer wg.Done()
 				ratio, ok := ratios[id]
 				if !ok {
@@ -311,7 +318,7 @@ func (r *windowRun) routeAndPay(ctx context.Context, kind market.Kind, price flo
 					return
 				}
 				trades[i], errs[i] = r.exchangeAsSupplier(ctx, kind, price, id, myShare, ratio, tagEnergy, tagReply)
-			}(i, id)
+			}(i, id, netem.Branch(forked))
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -326,10 +333,10 @@ func (r *windowRun) routeAndPay(ctx context.Context, kind market.Kind, price flo
 		var wg sync.WaitGroup
 		for i, id := range supplySide {
 			wg.Add(1)
-			go func(i int, id string) {
+			go func(i int, id string, ctx context.Context) {
 				defer wg.Done()
 				errs[i] = r.exchangeAsDemander(ctx, kind, price, id, tagEnergy, tagReply)
-			}(i, id)
+			}(i, id, netem.Branch(forked))
 		}
 		wg.Wait()
 		for _, err := range errs {
@@ -501,13 +508,15 @@ func decodeRatios(raw []byte) (map[string]float64, error) {
 	return out, nil
 }
 
-// cipher-pair codec shared with Protocol 3.
-func encodeCipherPair(a, b *paillier.Ciphertext) ([]byte, error) {
-	ab, err := a.MarshalBinary()
+// cipher-pair codec shared with Protocol 3. Encoding is fixed-width under
+// the pair's key (see Ciphertext.MarshalFixed) so the frame size never
+// depends on the drawn blinding factors.
+func encodeCipherPair(pk *paillier.PublicKey, a, b *paillier.Ciphertext) ([]byte, error) {
+	ab, err := a.MarshalFixed(pk)
 	if err != nil {
 		return nil, err
 	}
-	bb, err := b.MarshalBinary()
+	bb, err := b.MarshalFixed(pk)
 	if err != nil {
 		return nil, err
 	}

@@ -77,7 +77,7 @@ func (r *windowRun) ringAggregate(ctx context.Context, order []string, keyHolder
 	if pos+1 < len(order) {
 		next = order[pos+1]
 	}
-	out, err := acc.MarshalBinary()
+	out, err := acc.MarshalFixed(r.dir[keyHolder])
 	if err != nil {
 		return err
 	}
@@ -102,7 +102,7 @@ func (r *windowRun) aggregate(ctx context.Context, order []string, keyHolder, si
 		if !isRoot {
 			return nil
 		}
-		out, err := acc.MarshalBinary()
+		out, err := acc.MarshalFixed(r.dir[keyHolder])
 		if err != nil {
 			return err
 		}
@@ -171,7 +171,7 @@ func (r *windowRun) foldTree(ctx context.Context, order []string, keyHolder, tag
 	for stride := 1; stride < n; stride *= 2 {
 		if pos%(2*stride) == stride {
 			// Odd multiple of stride: forward the partial downhill, done.
-			out, err := acc.MarshalBinary()
+			out, err := acc.MarshalFixed(pk)
 			if err != nil {
 				return nil, false, err
 			}

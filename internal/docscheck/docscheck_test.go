@@ -25,6 +25,7 @@ var packages = []string{
 	"internal/grid",
 	"internal/market",
 	"internal/dataset",
+	"internal/netem",
 	"internal/paillier",
 }
 

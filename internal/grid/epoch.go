@@ -87,6 +87,12 @@ type EpochResult struct {
 	Windows int
 	// Bytes is the epoch's protocol traffic on the shared bus.
 	Bytes int64
+	// Msgs is the epoch's protocol message count, mirroring Bytes.
+	Msgs int64
+	// VirtualLatency is the epoch's virtual duration on the emulated
+	// network: the slowest coalition's day, since the epoch's coalitions
+	// trade concurrently. Zero on unemulated runs.
+	VirtualLatency time.Duration
 	// Rekey is the wall-clock time of the epoch's re-keying phase: every
 	// coalition provisioning fresh key material and transport scopes,
 	// concurrently over the shared crypto pool. Reported separately so
@@ -115,6 +121,13 @@ type LiveResult struct {
 	Duration time.Duration
 	// TotalBytes is the fleet's protocol traffic across all epochs.
 	TotalBytes int64
+	// TotalMessages is the fleet's protocol message count across all
+	// epochs.
+	TotalMessages int64
+	// VirtualLatency is the simulation's virtual duration on the emulated
+	// network: the sum of the epochs' virtual durations, since epochs are
+	// consecutive trading days. Zero on unemulated runs.
+	VirtualLatency time.Duration
 	// Rekey sums the epochs' re-keying phases.
 	Rekey time.Duration
 	// Trading sums the epochs' window-execution phases.
@@ -169,6 +182,8 @@ func RunLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution) (*Live
 		res.Epochs = append(res.Epochs, *er)
 		res.Windows += er.Windows
 		res.TotalBytes += er.Bytes
+		res.TotalMessages += er.Msgs
+		res.VirtualLatency += er.VirtualLatency
 		res.Rekey += er.Rekey
 		res.Trading += er.Trading
 		if err == nil {
@@ -311,6 +326,10 @@ func runEpoch(ctx context.Context, cfg LiveConfig, bus *transport.Bus, workers *
 		}
 		er.Windows += len(cr.Results)
 		er.Bytes += cr.Bytes
+		er.Msgs += cr.Msgs
+		if cr.VirtualLatency > er.VirtualLatency {
+			er.VirtualLatency = cr.VirtualLatency
+		}
 	}
 	if len(residuals) > 0 {
 		settlement, serr := market.SettleResiduals(residuals, gcfg.params())
@@ -419,7 +438,9 @@ func tradeCoalition(ctx context.Context, cfg Config, bus *transport.Bus, cr *Coa
 		return
 	}
 	cr.Results = results
-	cr.Bytes = bus.Metrics().ScopeBytes(cr.Name)
+	if cr.Err = coalitionAccounting(bus, cr); cr.Err != nil {
+		return
+	}
 	cr.Err = oracleAccounting(cfg, rk.sub, jobs, cr)
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"github.com/pem-go/pem/internal/core"
 	"github.com/pem-go/pem/internal/dataset"
+	"github.com/pem-go/pem/internal/ledger"
 	"github.com/pem-go/pem/internal/market"
 	"github.com/pem-go/pem/internal/paillier"
 	"github.com/pem-go/pem/internal/transport"
@@ -100,6 +101,23 @@ type CoalitionRun struct {
 	Flows map[string]market.AgentFlows
 	// Bytes is the coalition's protocol traffic on the shared bus.
 	Bytes int64
+	// Msgs is the coalition's protocol message count on the shared bus,
+	// mirroring Bytes.
+	Msgs int64
+	// VirtualLatency is the coalition-day's virtual duration on the
+	// emulated network (Engine.Network): the sum of its windows'
+	// critical-path latencies, i.e. the time the day would take played
+	// back-to-back over the emulated links. Zero on unemulated runs.
+	VirtualLatency time.Duration
+	// Rounds is the deepest protocol round count any of the coalition's
+	// windows reached on the emulated network. Zero on unemulated runs.
+	Rounds int
+	// Ledger is the coalition's tamper-evident trade log: every completed
+	// window's trades and clearing price, hash-chained in window order (nil
+	// for folded and failed coalitions). The settlement path commits it
+	// before residuals are cleared, so a coalition-day's transactions can
+	// be audited per (epoch, coalition) after the fact.
+	Ledger *ledger.Ledger
 	// Rekey is the time spent provisioning the coalition's engine — fresh
 	// Paillier key material for every member plus transport registration.
 	// The live grid pays it once per (epoch, coalition); reporting it
@@ -151,6 +169,12 @@ type Result struct {
 	Duration time.Duration
 	// TotalBytes is the fleet's protocol traffic.
 	TotalBytes int64
+	// TotalMessages is the fleet's protocol message count.
+	TotalMessages int64
+	// VirtualLatency is the grid-day's virtual duration on the emulated
+	// network: the slowest coalition's day, since coalition-days run
+	// concurrently. Zero on unemulated runs.
+	VirtualLatency time.Duration
 	// WindowsPerSec is the aggregate throughput: Windows / Duration.
 	WindowsPerSec float64
 }
@@ -207,6 +231,10 @@ func Run(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int) (*Re
 		}
 		res.Windows += len(cr.Results)
 		res.TotalBytes += cr.Bytes
+		res.TotalMessages += cr.Msgs
+		if cr.VirtualLatency > res.VirtualLatency {
+			res.VirtualLatency = cr.VirtualLatency
+		}
 	}
 	if len(residuals) > 0 {
 		settlement, serr := market.SettleResiduals(residuals, cfg.params())
@@ -329,8 +357,35 @@ func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *
 		return
 	}
 	cr.Results = results
-	cr.Bytes = bus.Metrics().ScopeBytes(cr.Name)
+	if cr.Err = coalitionAccounting(bus, cr); cr.Err != nil {
+		return
+	}
 	cr.Err = oracleAccounting(cfg, sub, jobs, cr)
+}
+
+// coalitionAccounting folds a completed coalition-day's transport and
+// virtual-clock figures out of the shared metrics sink and commits the
+// day's trades to the coalition's tamper-evident ledger — the settlement-
+// path bookkeeping shared by one-shot and live grids.
+func coalitionAccounting(bus *transport.Bus, cr *CoalitionRun) error {
+	m := bus.Metrics()
+	cr.Bytes = m.ScopeBytes(cr.Name)
+	cr.Msgs = m.ScopeMessages(cr.Name)
+	cr.VirtualLatency = m.ScopeVirtualLatency(cr.Name)
+	led := ledger.New()
+	for _, res := range cr.Results {
+		if res == nil {
+			continue
+		}
+		if res.Rounds > cr.Rounds {
+			cr.Rounds = res.Rounds
+		}
+		if _, err := led.Append(res.Window, res.Price, ledger.RecordsFromTrades(res.Trades)); err != nil {
+			return fmt.Errorf("ledger window %d: %w", res.Window, err)
+		}
+	}
+	cr.Ledger = led
+	return nil
 }
 
 // oracleAccounting computes the coalition's residual position and per-agent

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"github.com/pem-go/pem/internal/market"
 )
 
 // TradeRecord is one pairwise transaction committed to the chain.
@@ -29,6 +31,23 @@ type TradeRecord struct {
 	EnergyKWh float64
 	// PaymentCents paid by Buyer to Seller.
 	PaymentCents float64
+}
+
+// RecordsFromTrades converts one window's market trades into ledger
+// records — the single mapping shared by the solo-market ledger and the
+// grid settlement paths, so the two chains can never drift apart on field
+// semantics.
+func RecordsFromTrades(trades []market.Trade) []TradeRecord {
+	records := make([]TradeRecord, len(trades))
+	for i, tr := range trades {
+		records[i] = TradeRecord{
+			Seller:       tr.Seller,
+			Buyer:        tr.Buyer,
+			EnergyKWh:    tr.Energy,
+			PaymentCents: tr.Payment,
+		}
+	}
+	return records
 }
 
 // Block holds all trades of one trading window.

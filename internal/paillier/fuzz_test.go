@@ -51,6 +51,52 @@ func TestSignedEncodingBoundaries(t *testing.T) {
 	}
 }
 
+// TestMarshalFixedWidth pins the fixed-width ciphertext encoding: every
+// ciphertext under one key marshals to exactly len(n²) magnitude bytes
+// regardless of its leading zeros, and UnmarshalBinary decodes the padded
+// form to the same value as the variable-width one.
+func TestMarshalFixedWidth(t *testing.T) {
+	key := testKey(t)
+	pk := &key.PublicKey
+	width := (pk.N2.BitLen() + 7) / 8
+
+	values := []*big.Int{big.NewInt(1), big.NewInt(255), new(big.Int).Sub(pk.N2, big.NewInt(1))}
+	for i := int64(0); i < 8; i++ {
+		ct, err := pk.EncryptInt64(testRand(100+i), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values = append(values, ct.C)
+	}
+	for _, v := range values {
+		ct := &Ciphertext{C: v}
+		fixed, err := ct.MarshalFixed(pk)
+		if err != nil {
+			t.Fatalf("MarshalFixed(%v): %v", v, err)
+		}
+		if len(fixed) != 4+width {
+			t.Fatalf("fixed encoding of %v is %d bytes, want %d", v, len(fixed), 4+width)
+		}
+		var back Ciphertext
+		if err := back.UnmarshalBinary(fixed); err != nil {
+			t.Fatalf("decode fixed: %v", err)
+		}
+		if back.C.Cmp(v) != 0 {
+			t.Fatalf("fixed round trip %v -> %v", v, back.C)
+		}
+	}
+
+	// A value wider than n² cannot be a ciphertext; the encoder must refuse
+	// rather than truncate.
+	over := &Ciphertext{C: new(big.Int).Lsh(big.NewInt(1), uint(8*width))}
+	if _, err := over.MarshalFixed(pk); err == nil {
+		t.Fatal("over-wide ciphertext accepted")
+	}
+	if _, err := (&Ciphertext{C: big.NewInt(1)}).MarshalFixed(nil); err == nil {
+		t.Fatal("nil key accepted")
+	}
+}
+
 // FuzzCiphertextUnmarshal checks the ciphertext wire decoder never panics
 // and that every accepted encoding re-marshals to the same bytes.
 func FuzzCiphertextUnmarshal(f *testing.F) {

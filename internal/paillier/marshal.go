@@ -64,6 +64,31 @@ func (c *Ciphertext) MarshalBinary() ([]byte, error) {
 	return appendBig(nil, c.C), nil
 }
 
+// MarshalFixed encodes the ciphertext like MarshalBinary but left-pads the
+// magnitude to pk's canonical ciphertext width — the byte length of n² —
+// so every ciphertext under one key has the same wire size. Protocol code
+// uses it for on-the-wire ciphertexts: constant-size frames close the
+// (harmless but noisy) magnitude-length channel and make byte accounting —
+// and the network emulation's serialization pricing — independent of which
+// pre-computed blinding factor an encryption happened to draw.
+// UnmarshalBinary decodes both forms identically.
+func (c *Ciphertext) MarshalFixed(pk *PublicKey) ([]byte, error) {
+	if c.C == nil {
+		return nil, errors.New("paillier: nil ciphertext")
+	}
+	if pk == nil || pk.N2 == nil {
+		return nil, errors.New("paillier: nil public key")
+	}
+	width := (pk.N2.BitLen() + 7) / 8
+	if c.C.Sign() < 0 || (c.C.BitLen()+7)/8 > width {
+		return nil, errors.New("paillier: ciphertext wider than the key's modulus")
+	}
+	out := make([]byte, 4+width)
+	binary.BigEndian.PutUint32(out, uint32(width))
+	c.C.FillBytes(out[4:])
+	return out, nil
+}
+
 // UnmarshalBinary decodes a ciphertext produced by MarshalBinary.
 func (c *Ciphertext) UnmarshalBinary(data []byte) error {
 	v, rest, err := readBig(data)

@@ -78,6 +78,11 @@ func (f *FaultConn) FailWindow(window int) {
 // Party implements Conn.
 func (f *FaultConn) Party() string { return f.inner.Party() }
 
+// Inner returns the wrapped endpoint, so helpers that need a specific layer
+// of a conn stack (e.g. the network-emulation fork API) can unwrap through
+// the fault injector.
+func (f *FaultConn) Inner() Conn { return f.inner }
+
 // Send implements Conn with fault injection.
 func (f *FaultConn) Send(ctx context.Context, to, tag string, payload []byte) error {
 	f.mu.Lock()

@@ -1,6 +1,9 @@
 package transport
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // windowKey attributes traffic to one window of one scope (coalition). The
 // empty scope is the solo-engine namespace of PR 1's WindowTag scheme.
@@ -15,25 +18,54 @@ type windowKey struct {
 // WindowTag and ScopedWindowTag) are additionally attributed to that
 // (scope, window) pair, so that windows executing concurrently — including
 // same-numbered windows of different coalitions sharing one bus — still get
-// exact per-window byte accounting.
+// exact per-window byte accounting. Message counts mirror the byte counters
+// at every granularity (party, window, scope, total).
+//
+// When a run executes over the network-emulation layer (internal/netem),
+// the sink additionally carries each window's virtual-time observations:
+// the critical-path latency an identical deployment would wait out on the
+// emulated links, and the protocol round count (the longest chain of
+// message dependencies). Both are running maxima recorded by the emulation
+// as deliveries advance the per-party virtual clocks; they stay zero on
+// unemulated runs.
 type Metrics struct {
 	mu      sync.Mutex
 	bytes   map[string]int64
 	msgs    map[string]int64
 	windowB map[windowKey]int64
+	windowM map[windowKey]int64
 	scopeB  map[string]int64
-	totalB  int64
-	totalM  int64
+	scopeM  map[string]int64
+	phaseM  map[string]int64
+	winLat  map[windowKey]time.Duration
+	winRnd  map[windowKey]int
+	// scopeLat mirrors scopeB for virtual time: the running sum of each
+	// scope's per-window latency maxima, maintained incrementally as
+	// RecordVirtual grows them.
+	scopeLat map[string]time.Duration
+	totalB   int64
+	totalM   int64
 }
 
 // NewMetrics creates an empty sink.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		bytes:   make(map[string]int64),
-		msgs:    make(map[string]int64),
-		windowB: make(map[windowKey]int64),
-		scopeB:  make(map[string]int64),
-	}
+	m := &Metrics{}
+	m.init()
+	return m
+}
+
+// init allocates the counter maps (shared by NewMetrics and Reset).
+func (m *Metrics) init() {
+	m.bytes = make(map[string]int64)
+	m.msgs = make(map[string]int64)
+	m.windowB = make(map[windowKey]int64)
+	m.windowM = make(map[windowKey]int64)
+	m.scopeB = make(map[string]int64)
+	m.scopeM = make(map[string]int64)
+	m.phaseM = make(map[string]int64)
+	m.winLat = make(map[windowKey]time.Duration)
+	m.winRnd = make(map[windowKey]int)
+	m.scopeLat = make(map[string]time.Duration)
 }
 
 func (m *Metrics) recordSend(party, tag string, n int) {
@@ -41,12 +73,46 @@ func (m *Metrics) recordSend(party, tag string, n int) {
 	defer m.mu.Unlock()
 	m.bytes[party] += int64(n)
 	m.msgs[party]++
-	if scope, w, _, ok := ParseScopedWindowTag(tag); ok {
-		m.windowB[windowKey{scope: scope, window: w}] += int64(n)
+	if scope, w, rest, ok := ParseScopedWindowTag(tag); ok {
+		k := windowKey{scope: scope, window: w}
+		m.windowB[k] += int64(n)
+		m.windowM[k]++
 		m.scopeB[scope] += int64(n)
+		m.scopeM[scope]++
+		m.phaseM[phaseOf(rest)]++
 	}
 	m.totalB += int64(n)
 	m.totalM++
+}
+
+// phaseOf maps a bare protocol tag onto its protocol phase — the first path
+// segment: "role" (Protocol 1's announcements), "pme" (Protocol 2), "pp"
+// (Protocol 3), "pd" (Protocol 4).
+func phaseOf(rest string) string {
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' {
+			return rest[:i]
+		}
+	}
+	return rest
+}
+
+// RecordVirtual folds one virtual-clock observation into a window's
+// critical-path maxima: the network-emulation layer calls it as message
+// deliveries advance the per-party clocks, so the stored values converge to
+// the window's longest dependency chain (rounds) and its virtual end time
+// (latency).
+func (m *Metrics) RecordVirtual(scope string, window int, latency time.Duration, rounds int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := windowKey{scope: scope, window: window}
+	if latency > m.winLat[k] {
+		m.scopeLat[scope] += latency - m.winLat[k]
+		m.winLat[k] = latency
+	}
+	if rounds > m.winRnd[k] {
+		m.winRnd[k] = rounds
+	}
 }
 
 // WindowBytes returns the bytes sent so far within one window's tag
@@ -65,6 +131,32 @@ func (m *Metrics) ScopedWindowBytes(scope string, window int) int64 {
 	return m.windowB[windowKey{scope: scope, window: window}]
 }
 
+// ScopedWindowMessages returns the messages sent within one window of one
+// scope, mirroring ScopedWindowBytes.
+func (m *Metrics) ScopedWindowMessages(scope string, window int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.windowM[windowKey{scope: scope, window: window}]
+}
+
+// WindowVirtualLatency returns one window's critical-path virtual latency
+// over the emulated network — the longest chain of link delays any party
+// waited out. Zero when the run is not emulated.
+func (m *Metrics) WindowVirtualLatency(scope string, window int) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.winLat[windowKey{scope: scope, window: window}]
+}
+
+// WindowRounds returns one window's protocol round count: the longest
+// message dependency chain observed on the emulated network. Zero when the
+// run is not emulated.
+func (m *Metrics) WindowRounds(scope string, window int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.winRnd[windowKey{scope: scope, window: window}]
+}
+
 // ScopeBytes returns the total window-tagged bytes sent under one scope —
 // one coalition's protocol traffic on a shared bus. The empty scope covers
 // solo-engine traffic.
@@ -72,6 +164,23 @@ func (m *Metrics) ScopeBytes(scope string) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.scopeB[scope]
+}
+
+// ScopeMessages returns the total window-tagged messages sent under one
+// scope, mirroring ScopeBytes.
+func (m *Metrics) ScopeMessages(scope string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scopeM[scope]
+}
+
+// ScopeVirtualLatency sums one scope's per-window critical-path latencies —
+// the virtual duration of the scope's trading day if its windows ran
+// back-to-back on the emulated network. Zero when the run is not emulated.
+func (m *Metrics) ScopeVirtualLatency(scope string) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scopeLat[scope]
 }
 
 // TotalBytes returns the total bytes sent across all parties.
@@ -95,6 +204,13 @@ func (m *Metrics) PartyBytes(party string) int64 {
 	return m.bytes[party]
 }
 
+// PartyMessages returns the number of messages sent by one party.
+func (m *Metrics) PartyMessages(party string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.msgs[party]
+}
+
 // Snapshot returns a copy of the per-party byte counters.
 func (m *Metrics) Snapshot() map[string]int64 {
 	m.mu.Lock()
@@ -106,14 +222,26 @@ func (m *Metrics) Snapshot() map[string]int64 {
 	return out
 }
 
+// PhaseMessages returns a copy of the per-protocol-phase message counters,
+// keyed by the first segment of the bare protocol tag ("role", "pme", "pp",
+// "pd"). Phases aggregate across all scopes and windows; they expose each
+// protocol's share of the message volume, the communication-cost figure's
+// round-structure breakdown.
+func (m *Metrics) PhaseMessages() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.phaseM))
+	for k, v := range m.phaseM {
+		out[k] = v
+	}
+	return out
+}
+
 // Reset zeroes all counters.
 func (m *Metrics) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.bytes = make(map[string]int64)
-	m.msgs = make(map[string]int64)
-	m.windowB = make(map[windowKey]int64)
-	m.scopeB = make(map[string]int64)
+	m.init()
 	m.totalB = 0
 	m.totalM = 0
 }

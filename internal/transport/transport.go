@@ -127,6 +127,14 @@ func (m *Message) wireSize() int {
 	return len(m.Payload) + len(m.From) + len(m.To) + len(m.Tag) + frameHeaderSize
 }
 
+// WireSize returns the accounted on-wire size of one message — the figure
+// the Metrics byte counters record. The network-emulation layer uses it to
+// price serialization delay with exactly the accounted size.
+func WireSize(from, to, tag string, payload []byte) int {
+	m := Message{From: from, To: to, Tag: tag, Payload: payload}
+	return m.wireSize()
+}
+
 // Conn is one party's endpoint.
 //
 // Send may be called from any goroutine. Recv must not be called

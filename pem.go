@@ -41,6 +41,7 @@ import (
 	"github.com/pem-go/pem/internal/dataset"
 	"github.com/pem-go/pem/internal/ledger"
 	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/netem"
 	"github.com/pem-go/pem/internal/paillier"
 	"github.com/pem-go/pem/internal/transport"
 )
@@ -128,6 +129,16 @@ type Config struct {
 	// paper's O(n)-latency sequential chain) or AggregationTree (log-depth
 	// binary reduction with the same leakage profile).
 	Aggregation string
+	// Network selects a deterministic network-emulation topology for the
+	// market's transport: NetworkLAN, NetworkMetro, NetworkWAN,
+	// NetworkCellular or NetworkLossy. When set, every protocol message is
+	// priced against seeded per-link latency, jitter, bandwidth and loss
+	// models on a virtual clock — runs stay as fast as the in-memory bus
+	// (no wall-clock sleeps) and bit-identical under a fixed Seed — and
+	// each WindowResult reports its critical-path VirtualLatency and
+	// protocol Rounds over the emulated links. Empty (the default) disables
+	// emulation.
+	Network string
 }
 
 // Aggregation topologies for Config.Aggregation.
@@ -135,6 +146,28 @@ const (
 	AggregationRing = core.AggregationRing
 	AggregationTree = core.AggregationTree
 )
+
+// Network-emulation topology presets for Config.Network.
+const (
+	// NetworkLAN emulates a switched local network (100µs links, gigabit
+	// bandwidth) — the near-ideal baseline.
+	NetworkLAN = netem.TopologyLAN
+	// NetworkMetro emulates a metropolitan utility network (5ms links,
+	// 200 Mbit/s).
+	NetworkMetro = netem.TopologyMetro
+	// NetworkWAN emulates a cross-region deployment (40ms links, 50 Mbit/s,
+	// light loss).
+	NetworkWAN = netem.TopologyWAN
+	// NetworkCellular emulates smart meters on a cellular uplink (80ms
+	// high-jitter links, 20 Mbit/s).
+	NetworkCellular = netem.TopologyCellular
+	// NetworkLossy emulates a degraded long-haul path (40ms links, 3% loss;
+	// retransmission cost dominates).
+	NetworkLossy = netem.TopologyLossy
+)
+
+// NetworkPresets lists the Config.Network topology presets in stable order.
+func NetworkPresets() []string { return netem.Presets() }
 
 // Market is a running private energy market.
 type Market struct {
@@ -158,6 +191,7 @@ func (cfg Config) coreConfig() core.Config {
 		MaxInflightWindows: cfg.MaxInflightWindows,
 		CryptoWorkers:      cfg.CryptoWorkers,
 		Aggregation:        cfg.Aggregation,
+		Network:            cfg.Network,
 	}
 }
 
@@ -242,15 +276,7 @@ func (m *Market) RunWindows(ctx context.Context, inputs [][]WindowInput) ([]*Win
 func (m *Market) streamWindows(ctx context.Context, jobs []core.WindowJob, sink func(*WindowResult) error) ([]*WindowResult, error) {
 	return m.engine.StreamWindows(ctx, jobs, func(res *WindowResult) error {
 		if m.ledger != nil {
-			records := make([]TradeRecord, len(res.Trades))
-			for i, tr := range res.Trades {
-				records[i] = TradeRecord{
-					Seller:       tr.Seller,
-					Buyer:        tr.Buyer,
-					EnergyKWh:    tr.Energy,
-					PaymentCents: tr.Payment,
-				}
-			}
+			records := ledger.RecordsFromTrades(res.Trades)
 			if _, err := m.ledger.Append(res.Window, res.Price, records); err != nil {
 				return fmt.Errorf("pem: ledger append: %w", err)
 			}

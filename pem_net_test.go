@@ -1,0 +1,76 @@
+package pem_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/pem-go/pem"
+)
+
+// TestPublicNetworkEmulation covers the public Config.Network knob: an
+// emulated market reports virtual-latency/round/message metrics, the market
+// outcome matches the unemulated run, seeded runs are bit-identical, and
+// the topology presets are exposed.
+func TestPublicNetworkEmulation(t *testing.T) {
+	presets := pem.NetworkPresets()
+	if len(presets) != 5 {
+		t.Fatalf("presets = %v, want 5", presets)
+	}
+
+	agents := []pem.Agent{
+		{ID: "solar-roof", K: 85, Epsilon: 0.9},
+		{ID: "townhouse", K: 75, Epsilon: 0.85},
+		{ID: "ev-garage", K: 95, Epsilon: 0.9},
+		{ID: "row-house", K: 80, Epsilon: 0.88},
+	}
+	inputs := []pem.WindowInput{
+		{Generation: 0.40, Load: 0.10},
+		{Generation: 0.35, Load: 0.12},
+		{Generation: 0.00, Load: 0.25},
+		{Generation: 0.05, Load: 0.30},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	runOnce := func(network string) *pem.WindowResult {
+		t.Helper()
+		m, err := pem.NewMarket(pem.Config{
+			KeyBits: 256,
+			Seed:    seedPtr(3),
+			Network: network,
+		}, agents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		res, err := m.RunWindow(ctx, 0, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := runOnce("")
+	wan := runOnce(pem.NetworkWAN)
+	wan2 := runOnce(pem.NetworkWAN)
+
+	if plain.Kind != wan.Kind || plain.Price != wan.Price || len(plain.Trades) != len(wan.Trades) {
+		t.Errorf("emulation changed the market: %v/%v/%d vs %v/%v/%d",
+			plain.Kind, plain.Price, len(plain.Trades), wan.Kind, wan.Price, len(wan.Trades))
+	}
+	if plain.VirtualLatency != 0 || plain.Rounds != 0 {
+		t.Errorf("unemulated run carries virtual metrics: %v/%d", plain.VirtualLatency, plain.Rounds)
+	}
+	if wan.VirtualLatency < 50*time.Millisecond || wan.Rounds == 0 || wan.Messages == 0 {
+		t.Errorf("emulated metrics implausible: %v/%d/%d", wan.VirtualLatency, wan.Rounds, wan.Messages)
+	}
+	if wan.VirtualLatency != wan2.VirtualLatency || wan.Rounds != wan2.Rounds || wan.Messages != wan2.Messages {
+		t.Errorf("seeded emulated runs diverged: %v/%d/%d vs %v/%d/%d",
+			wan.VirtualLatency, wan.Rounds, wan.Messages, wan2.VirtualLatency, wan2.Rounds, wan2.Messages)
+	}
+
+	if _, err := pem.NewMarket(pem.Config{KeyBits: 256, Network: "dialup"}, agents); err == nil {
+		t.Error("unknown network preset accepted")
+	}
+}
