@@ -338,6 +338,45 @@ func BenchmarkParallelWindow(b *testing.B) {
 	}
 }
 
+// --- Ablation: paillier vs hybrid crypto backend, full protocol stack ---
+//
+// The hybrid backend computes the Protocol 2/3 aggregations and comparison
+// over seeded additive masking and keeps Paillier only for Protocol 4's
+// ratio step; outcomes are bit-identical to the paillier backend (asserted
+// by TestHybridPublicBitIdentical). The per-window speedup is the headline
+// of cmd/pem-bench -fig crypto; this bench keeps it measurable under
+// `go test -bench`.
+
+func BenchmarkCryptoBackends(b *testing.B) {
+	for _, backend := range []string{pem.BackendPaillier, pem.BackendHybrid} {
+		b.Run("backend="+backend, func(b *testing.B) {
+			tr := benchTrace(b, 8, 720)
+			seed := int64(21)
+			m, err := pem.NewMarket(pem.Config{
+				KeyBits:       512,
+				Seed:          &seed,
+				CryptoBackend: backend,
+			}, tr.Agents())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			ctx := context.Background()
+			inputs, err := tr.WindowInputs(tr.Windows / 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.RunWindow(ctx, i, inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablation: ring vs tree aggregation topology, full protocol stack ---
 
 func BenchmarkAggregationTopologyWindow(b *testing.B) {

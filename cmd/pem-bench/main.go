@@ -13,6 +13,7 @@
 //	pem-bench -fig grid         # sharded coalition grid throughput sweep
 //	pem-bench -fig live         # epoched live grid under agent churn
 //	pem-bench -fig net          # communication cost on emulated networks
+//	pem-bench -fig crypto       # paillier vs hybrid backend ablation
 //	pem-bench -table 1          # average bandwidth by key size
 //	pem-bench -all              # everything
 //
@@ -38,6 +39,14 @@
 // crash failures), re-partitioning and re-keying every epoch. Re-key cost
 // is reported separately from steady-state window throughput, and the
 // cross-epoch settlement conservation checks are printed at the end.
+//
+// The crypto figure ablates the crypto backend: the same midday day slice
+// under the paillier backend (the paper's construction) and the hybrid
+// masking fast path, swept over aggregation topology × network preset.
+// Every row revalidates the private outcome against the plaintext oracle
+// and the ledger hash chain against the paillier baseline, so the headline
+// speedup column is only reported for runs whose outcomes are provably
+// unchanged. Restrict the preset sweep with -net; -csv writes the table.
 //
 // The net figure prices the protocols on deterministic emulated networks:
 // the same trading-day slice swept over the topology presets (lan, metro,
@@ -90,7 +99,7 @@ type options struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("pem-bench", flag.ContinueOnError)
 	var opt options
-	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d, pipe, par, grid, live, net")
+	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d, pipe, par, grid, live, net, crypto")
 	fs.IntVar(&opt.table, "table", 0, "table to regenerate: 1")
 	fs.BoolVar(&opt.all, "all", false, "regenerate every figure and table")
 	fs.BoolVar(&opt.full, "full", false, "paper scale (slow) instead of laptop scale")
@@ -117,25 +126,26 @@ func run(args []string) error {
 	}
 
 	runners := map[string]func(options) error{
-		"4":    fig4,
-		"5a":   fig5a,
-		"5b":   fig5b,
-		"5c":   fig5c,
-		"6a":   fig6a,
-		"6b":   fig6b,
-		"6c":   fig6c,
-		"6d":   fig6d,
-		"pipe": pipeComparison,
-		"par":  parComparison,
-		"grid": figGrid,
-		"live": figLive,
-		"net":  figNet,
-		"t1":   table1,
+		"4":      fig4,
+		"5a":     fig5a,
+		"5b":     fig5b,
+		"5c":     fig5c,
+		"6a":     fig6a,
+		"6b":     fig6b,
+		"6c":     fig6c,
+		"6d":     fig6d,
+		"pipe":   pipeComparison,
+		"par":    parComparison,
+		"grid":   figGrid,
+		"live":   figLive,
+		"net":    figNet,
+		"crypto": figCrypto,
+		"t1":     table1,
 	}
 	var targets []string
 	switch {
 	case opt.all:
-		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "live", "net", "t1"}
+		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "live", "net", "crypto", "t1"}
 	case opt.table == 1:
 		targets = []string{"t1"}
 	case opt.table != 0:
@@ -750,6 +760,180 @@ func figNet(o options) error {
 		}
 	}
 	fmt.Println("(virtual columns are event-time over the emulated links; wall is real elapsed time — no sleeps)")
+	if o.csvPath != "" {
+		if err := writeCSV(o.csvPath, rows); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.csvPath)
+	}
+	return nil
+}
+
+// middayInputs slices windows consecutive midday windows out of a full
+// synthetic day, so both coalitions are populated and every window
+// exercises the full protocol stack.
+func middayInputs(tr *pem.Trace, windows int) ([][]pem.WindowInput, error) {
+	first := 360 - windows/2
+	if first < 0 || windows > 720 {
+		first = 0
+	}
+	inputs := make([][]pem.WindowInput, windows)
+	for w := 0; w < windows; w++ {
+		idx := first + w
+		if idx >= tr.Windows {
+			idx = tr.Windows - 1
+		}
+		var err error
+		if inputs[w], err = tr.WindowInputs(idx); err != nil {
+			return nil, err
+		}
+	}
+	return inputs, nil
+}
+
+// cryptoRun is one cell of the backend-ablation matrix.
+type cryptoRun struct {
+	total       time.Duration
+	results     []*pem.WindowResult
+	msgs, bytes int64
+	ledgerHead  [32]byte
+	oracleOK    bool
+	ledgerOK    bool
+}
+
+// runCryptoDay runs the midday slice under one backend × aggregation ×
+// topology cell and revalidates the outcome: every window against the
+// plaintext oracle, and the trade ledger against its own hash chain.
+func runCryptoDay(o options, homes, windows, keyBits int, backend, agg, topology string) (*cryptoRun, error) {
+	tr, err := o.trace(homes, 720)
+	if err != nil {
+		return nil, err
+	}
+	inputs, err := middayInputs(tr, windows)
+	if err != nil {
+		return nil, err
+	}
+	seed := o.seed
+	m, err := pem.NewMarket(pem.Config{
+		KeyBits:            keyBits,
+		Seed:               &seed,
+		MaxInflightWindows: o.inflight,
+		CryptoWorkers:      o.cryptoWrk,
+		Aggregation:        agg,
+		CryptoBackend:      backend,
+		Network:            topology,
+	}, tr.Agents())
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+
+	start := time.Now()
+	results, err := m.RunWindows(context.Background(), inputs)
+	if err != nil {
+		return nil, err
+	}
+	run := &cryptoRun{total: time.Since(start), results: results, oracleOK: true}
+	params := pem.DefaultParams()
+	for w, res := range results {
+		run.msgs += res.Messages
+		run.bytes += res.BytesOnWire
+		clr, err := pem.Clear(tr.Agents(), inputs[w], params)
+		if err != nil {
+			return nil, err
+		}
+		if res.Kind != clr.Kind || absf(res.Price-clr.Price) > 1e-4 || len(res.Trades) != len(clr.Trades) {
+			run.oracleOK = false
+		}
+	}
+	run.ledgerOK = m.Ledger().Verify() == nil
+	run.ledgerHead = m.Ledger().Head().Hash
+	return run, nil
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// figCrypto ablates the crypto backend: paillier (the paper's construction,
+// homomorphic aggregation + garbled-circuit comparison) against the hybrid
+// masking fast path, across aggregation topology × network preset. The
+// headline column is the per-window wall-clock speedup of hybrid over the
+// paillier baseline of the same cell; oracle and ledger columns certify
+// that the speedup comes with bit-identical market outcomes (the hybrid
+// ledger chain must hash to the paillier chain's head).
+func figCrypto(o options) error {
+	homes, windows := o.scale(100, 24, 8, 4)
+	keyBits := 512
+	if o.full {
+		keyBits = 1024
+	}
+	if o.keyBits > 0 {
+		keyBits = o.keyBits
+	}
+	topologies := append([]string{""}, pem.NetworkPresets()...)
+	if o.network != "" {
+		topologies = []string{o.network}
+	}
+
+	header(fmt.Sprintf("Crypto backend ablation — %d agents, %d windows, %d-bit keys", homes, windows, keyBits))
+	fmt.Printf("%10s %6s %10s %14s %14s %10s %10s %8s %8s\n",
+		"topology", "agg", "backend", "total runtime", "avg/window", "speedup", "MB/day", "oracle", "ledger")
+	rows := [][]string{{
+		"topology", "agg", "backend", "homes", "windows", "keybits",
+		"total_ms", "avg_window_ms", "speedup", "msgs", "bytes", "oracle_ok", "ledger_ok",
+	}}
+	for _, topology := range topologies {
+		display := topology
+		if display == "" {
+			display = "direct"
+		}
+		for _, agg := range []string{pem.AggregationRing, pem.AggregationTree} {
+			var baseline *cryptoRun
+			for _, backend := range []string{pem.BackendPaillier, pem.BackendHybrid} {
+				run, err := runCryptoDay(o, homes, windows, keyBits, backend, agg, topology)
+				if err != nil {
+					return fmt.Errorf("topology=%s agg=%s backend=%s: %w", display, agg, backend, err)
+				}
+				speedup := 1.0
+				if backend == pem.BackendPaillier {
+					baseline = run
+				} else {
+					speedup = float64(baseline.total) / float64(run.total)
+					// The fast path only counts if the market is unchanged:
+					// the hybrid ledger must replay the paillier chain.
+					run.ledgerOK = run.ledgerOK && run.ledgerHead == baseline.ledgerHead
+				}
+				okStr := func(ok bool) string {
+					if ok {
+						return "ok"
+					}
+					return "FAIL"
+				}
+				fmt.Printf("%10s %6s %10s %14s %14s %9.2fx %10.3f %8s %8s\n",
+					display, agg, backend,
+					run.total.Round(time.Millisecond),
+					(run.total / time.Duration(windows)).Round(time.Millisecond),
+					speedup, float64(run.bytes)/1e6, okStr(run.oracleOK), okStr(run.ledgerOK))
+				rows = append(rows, []string{
+					display, agg, backend, fmt.Sprint(homes), fmt.Sprint(windows), fmt.Sprint(keyBits),
+					fmt.Sprint(run.total.Milliseconds()),
+					fmt.Sprintf("%.3f", float64(run.total)/float64(windows)/1e6),
+					fmt.Sprintf("%.3f", speedup),
+					fmt.Sprint(run.msgs), fmt.Sprint(run.bytes),
+					fmt.Sprint(run.oracleOK), fmt.Sprint(run.ledgerOK),
+				})
+				if !run.oracleOK || !run.ledgerOK {
+					return fmt.Errorf("topology=%s agg=%s backend=%s: outcome validation failed (oracle %v, ledger %v)",
+						display, agg, backend, run.oracleOK, run.ledgerOK)
+				}
+			}
+		}
+	}
+	fmt.Println("(speedup is per-cell vs the paillier baseline; oracle/ledger certify identical market outcomes)")
 	if o.csvPath != "" {
 		if err := writeCSV(o.csvPath, rows); err != nil {
 			return err

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"github.com/pem-go/pem/internal/market"
+)
+
+// hybridBackend replaces the Paillier phases that never need a decryption
+// by one specific party's key with information-theoretic additive masking:
+//
+//   - the Protocol 2 sum rounds and the fused Protocol 3 pair pass fold
+//     uint64 shares masked by pairwise PRF masks shared with the sink, along
+//     exactly the same ring/tree message pattern as the Paillier fold (same
+//     senders, same receivers, same message count — only the frame shrinks
+//     from a fixed-width ciphertext to a fixed 8- or 16-byte word);
+//   - the Rb/Rs decision becomes a masked compare: Hr2 hands its
+//     nonce-masked total to Hr1, who compares and broadcasts the one-bit
+//     outcome (leaking Rb−Rs = E_b−E_s to Hr1 — the designed trade-off
+//     documented in DESIGN.md §12);
+//   - Protocol 4 is inherited unchanged from the embedded paillierBackend:
+//     its ratio step fundamentally requires one party (Hs) to decrypt
+//     values others computed, which masking cannot express.
+//
+// Masks are derived per (pair, tag) with SHA-256 over the engine-provisioned
+// pairwise seed and the scoped window tag, so every window, phase and
+// coalition namespace gets independent masks and the netem byte accounting
+// of two identically-configured runs stays identical. Arithmetic is mod
+// 2^64; sums are decoded as two's-complement int64, which covers every
+// protocol total by the same margin as the fixed-point encoding itself.
+type hybridBackend struct {
+	paillierBackend
+}
+
+var _ cryptoBackend = (*hybridBackend)(nil)
+
+func (*hybridBackend) name() string { return BackendHybrid }
+
+// maskWords derives this party's two mask words for a (peer, tag) pair from
+// the engine-provisioned pairwise seed. Both endpoints of the pair derive
+// identical words; anyone else sees uniformly random shares.
+func (r *windowRun) maskWords(peer, tag string) (uint64, uint64, error) {
+	seed, ok := r.maskSeeds[peer]
+	if !ok {
+		return 0, 0, fmt.Errorf("hybrid: no mask seed for %s (backend requires engine provisioning)", peer)
+	}
+	h := sha256.New()
+	h.Write(seed)
+	h.Write([]byte(tag))
+	s := h.Sum(nil)
+	return binary.BigEndian.Uint64(s[:8]), binary.BigEndian.Uint64(s[8:16]), nil
+}
+
+// int64Word bounds a fixed-point contribution to the int64 range and maps
+// it onto the mod-2^64 share domain.
+func int64Word(v *big.Int, what string) (uint64, error) {
+	if !v.IsInt64() {
+		return 0, fmt.Errorf("hybrid: %s out of range: %s", what, v)
+	}
+	return uint64(v.Int64()), nil
+}
+
+// maskedShare is a running partial sum of one or two mod-2^64 words (one
+// for the Protocol 2 sums, two for the fused Protocol 3 pair).
+type maskedShare [2]uint64
+
+func (s maskedShare) add(o maskedShare) maskedShare {
+	return maskedShare{s[0] + o[0], s[1] + o[1]}
+}
+
+// encodeShare writes the first `words` words as a fixed-width frame: the
+// frame size depends only on the phase, never on the values, preserving
+// exact netem byte accounting.
+func encodeShare(s maskedShare, words int) []byte {
+	out := make([]byte, 8*words)
+	for i := 0; i < words; i++ {
+		binary.BigEndian.PutUint64(out[8*i:], s[i])
+	}
+	return out
+}
+
+func decodeShare(raw []byte, words int, tag string) (maskedShare, error) {
+	var s maskedShare
+	if len(raw) != 8*words {
+		return s, fmt.Errorf("hybrid %s: bad share frame (%d bytes)", tag, len(raw))
+	}
+	for i := 0; i < words; i++ {
+		s[i] = binary.BigEndian.Uint64(raw[8*i:])
+	}
+	return s, nil
+}
+
+// maskedFold is the member side of a hybrid aggregation: fold this party's
+// masked share into the running sum along the configured topology — the
+// same message pattern as the Paillier aggregate/foldTree pair in rings.go,
+// with sink as the final receiver in both topologies.
+func (r *windowRun) maskedFold(ctx context.Context, order []string, sink, tag string, words int, share maskedShare) error {
+	pos := -1
+	for i, id := range order {
+		if id == r.ID() {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		return fmt.Errorf("hybrid: party %s not in fold %s", r.ID(), tag)
+	}
+
+	if r.cfg.Aggregation == AggregationTree {
+		return r.maskedFoldTree(ctx, order, pos, sink, tag, words, share)
+	}
+
+	acc := share
+	if pos > 0 {
+		raw, err := r.conn.Recv(ctx, order[pos-1], tag)
+		if err != nil {
+			return fmt.Errorf("hybrid ring %s: recv: %w", tag, err)
+		}
+		in, err := decodeShare(raw, words, tag)
+		if err != nil {
+			return err
+		}
+		acc = acc.add(in)
+	}
+	next := sink
+	if pos+1 < len(order) {
+		next = order[pos+1]
+	}
+	if err := r.conn.Send(ctx, next, tag, encodeShare(acc, words)); err != nil {
+		return fmt.Errorf("hybrid ring %s: send: %w", tag, err)
+	}
+	return nil
+}
+
+// maskedFoldTree mirrors foldTree's binary reduction strides; the surviving
+// member 0 forwards the total to the sink.
+func (r *windowRun) maskedFoldTree(ctx context.Context, order []string, pos int, sink, tag string, words int, share maskedShare) error {
+	n := len(order)
+	acc := share
+	for stride := 1; stride < n; stride *= 2 {
+		if pos%(2*stride) == stride {
+			if err := r.conn.Send(ctx, order[pos-stride], tag, encodeShare(acc, words)); err != nil {
+				return fmt.Errorf("hybrid tree %s: send: %w", tag, err)
+			}
+			return nil
+		}
+		partner := pos + stride
+		if partner >= n {
+			continue
+		}
+		raw, err := r.conn.Recv(ctx, order[partner], tag)
+		if err != nil {
+			return fmt.Errorf("hybrid tree %s: recv: %w", tag, err)
+		}
+		in, err := decodeShare(raw, words, tag)
+		if err != nil {
+			return err
+		}
+		acc = acc.add(in)
+	}
+	if err := r.conn.Send(ctx, sink, tag, encodeShare(acc, words)); err != nil {
+		return fmt.Errorf("hybrid tree %s: send: %w", tag, err)
+	}
+	return nil
+}
+
+// maskedCollect is the sink side: receive the folded total from the
+// topology's root and strip every member's pairwise masks.
+func (r *windowRun) maskedCollect(ctx context.Context, order []string, tag string, words int) (maskedShare, error) {
+	var total maskedShare
+	if len(order) == 0 {
+		return total, fmt.Errorf("hybrid %s: empty member set", tag)
+	}
+	raw, err := r.conn.Recv(ctx, r.aggregationRoot(order), tag)
+	if err != nil {
+		return total, fmt.Errorf("hybrid %s: recv final: %w", tag, err)
+	}
+	total, err = decodeShare(raw, words, tag)
+	if err != nil {
+		return total, err
+	}
+	for _, id := range order {
+		m0, m1, err := r.maskWords(id, tag)
+		if err != nil {
+			return total, err
+		}
+		total[0] -= m0
+		total[1] -= m1
+	}
+	return total, nil
+}
+
+func (*hybridBackend) aggregateSum(ctx context.Context, r *windowRun, order []string, sink, tag string, contribution *big.Int) error {
+	w, err := int64Word(contribution, "contribution")
+	if err != nil {
+		return err
+	}
+	m0, m1, err := r.maskWords(sink, tag)
+	if err != nil {
+		return err
+	}
+	return r.maskedFold(ctx, order, sink, tag, 1, maskedShare{w + m0, m1})
+}
+
+func (*hybridBackend) collectSum(ctx context.Context, r *windowRun, order []string, tag string) (*big.Int, error) {
+	total, err := r.maskedCollect(ctx, order, tag, 1)
+	if err != nil {
+		return nil, err
+	}
+	return big.NewInt(int64(total[0])), nil
+}
+
+// compareTotals is the masked compare: Hr2 hands its nonce-masked total Rs
+// to Hr1, who decides general iff Rb > Rs and broadcasts the one-bit
+// outcome to everyone (Hr2 included — unlike the garbled-circuit path it
+// does not learn the bit as a protocol by-product).
+func (*hybridBackend) compareTotals(ctx context.Context, r *windowRun, masked uint64) (market.Kind, error) {
+	ros := r.ros
+	cmpTag := r.tag("pme/cmp")
+	kindTag := r.tag("pme/kind")
+
+	switch r.ID() {
+	case ros.hr1:
+		raw, err := r.conn.Recv(ctx, ros.hr2, cmpTag)
+		if err != nil {
+			return 0, fmt.Errorf("masked comparison: %w", err)
+		}
+		rs, err := decodeShare(raw, 1, cmpTag)
+		if err != nil {
+			return 0, err
+		}
+		kind := market.ExtremeMarket
+		if masked > rs[0] {
+			kind = market.GeneralMarket
+		}
+		if err := r.broadcast(ctx, ros.all, kindTag, []byte{byte(kind)}); err != nil {
+			return 0, err
+		}
+		return kind, nil
+
+	default:
+		if r.ID() == ros.hr2 {
+			if err := r.conn.Send(ctx, ros.hr1, cmpTag, encodeShare(maskedShare{masked}, 1)); err != nil {
+				return 0, fmt.Errorf("masked comparison: %w", err)
+			}
+		}
+		raw, err := r.conn.Recv(ctx, ros.hr1, kindTag)
+		if err != nil {
+			return 0, err
+		}
+		return parseKindByte(raw)
+	}
+}
+
+func (*hybridBackend) pricingFold(ctx context.Context, r *windowRun, tag string, k, term *big.Int) error {
+	ros := r.ros
+	kw, err := int64Word(k, "Σk contribution")
+	if err != nil {
+		return err
+	}
+	tw, err := int64Word(term, "price-term contribution")
+	if err != nil {
+		return err
+	}
+	m0, m1, err := r.maskWords(ros.hb, tag)
+	if err != nil {
+		return err
+	}
+	return r.maskedFold(ctx, ros.sellers, ros.hb, tag, 2, maskedShare{kw + m0, tw + m1})
+}
+
+func (*hybridBackend) collectPair(ctx context.Context, r *windowRun, tag string) (*big.Int, *big.Int, error) {
+	total, err := r.maskedCollect(ctx, r.ros.sellers, tag, 2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return big.NewInt(int64(total[0])), big.NewInt(int64(total[1])), nil
+}

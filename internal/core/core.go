@@ -83,6 +83,14 @@ type Config struct {
 	// parties and all in-flight windows, capping the process's total crypto
 	// parallelism. Outcomes are bit-identical at any worker count.
 	CryptoWorkers int
+	// CryptoBackend selects the window crypto layer: "paillier" (default;
+	// the paper's construction — every phase on homomorphic encryption plus
+	// the garbled-circuit comparison) or "hybrid" (Protocols 2–3 and the
+	// Rb/Rs comparison on seeded additive masking, Paillier kept only for
+	// Protocol 4's single-decryptor ratio step). Outcomes are bit-identical;
+	// the hybrid backend trades the comparison's privacy (Hr1 learns
+	// E_b−E_s) for an order-of-magnitude window speedup — see DESIGN.md §12.
+	CryptoBackend string
 	// Aggregation selects the encrypted-sum topology for the masked ring
 	// aggregations of Protocol 2 and the demand-side total of Protocol 4:
 	// "ring" (default; the paper's O(n) sequential chain) or "tree"
@@ -134,6 +142,9 @@ func (c Config) withDefaults() Config {
 	if c.Aggregation == "" {
 		c.Aggregation = AggregationRing
 	}
+	if c.CryptoBackend == "" {
+		c.CryptoBackend = BackendPaillier
+	}
 	return c
 }
 
@@ -159,6 +170,9 @@ func (c Config) Validate() error {
 	}
 	if c.Aggregation != AggregationRing && c.Aggregation != AggregationTree {
 		return fmt.Errorf("core: unknown aggregation topology %q", c.Aggregation)
+	}
+	if c.CryptoBackend != BackendPaillier && c.CryptoBackend != BackendHybrid {
+		return fmt.Errorf("core: unknown crypto backend %q (have %q, %q)", c.CryptoBackend, BackendPaillier, BackendHybrid)
 	}
 	if c.Namespace != "" && !transport.ValidScope(c.Namespace) {
 		return fmt.Errorf("core: invalid namespace %q (letters, digits, '.', '_', '-'; not a w<n> window prefix)", c.Namespace)
@@ -310,6 +324,18 @@ func NewEngineWith(cfg Config, agents []market.Agent, res Resources) (*Engine, e
 	for i, a := range agents {
 		dir[a.ID] = &keys[i].PublicKey
 	}
+
+	// Hybrid backend: provision the pairwise masking seeds. The engine
+	// already generates every party's private key (Protocol 1 line 2 run
+	// centrally), so central seed provisioning adds no trust the deployment
+	// model doesn't assume; a multi-process deployment would derive the
+	// seeds from a pairwise DH handshake instead (see standalone.go).
+	seeds, err := maskSeedMatrix(cfg, agents)
+	if err != nil {
+		e.workers.Release()
+		return nil, err
+	}
+
 	e.parties = make([]*Party, len(agents))
 	for i, a := range agents {
 		conn, err := bus.Register(a.ID)
@@ -320,9 +346,40 @@ func NewEngineWith(cfg Config, agents []market.Agent, res Resources) (*Engine, e
 		if e.network != nil {
 			conn = e.network.Wrap(conn)
 		}
-		e.parties[i] = newParty(cfg, a, conn, keys[i], dir, e.workers)
+		e.parties[i] = newParty(cfg, a, conn, keys[i], dir, e.workers, seeds[a.ID])
 	}
 	return e, nil
+}
+
+// maskSeedMatrix draws one 32-byte seed per unordered party pair for the
+// hybrid backend's PRF masks, returning each party's peer->seed view.
+// Under the paillier backend it returns nil: no masking phase exists.
+// Seeds come from partyRandom, so a seeded engine derives deterministic
+// masks and an unseeded one uses crypto/rand.
+func maskSeedMatrix(cfg Config, agents []market.Agent) (map[string]map[string][]byte, error) {
+	if cfg.CryptoBackend != BackendHybrid {
+		return nil, nil
+	}
+	ids := make([]string, len(agents))
+	for i, a := range agents {
+		ids[i] = a.ID
+	}
+	sort.Strings(ids)
+	seeds := make(map[string]map[string][]byte, len(ids))
+	for _, id := range ids {
+		seeds[id] = make(map[string][]byte, len(ids)-1)
+	}
+	for i, a := range ids {
+		for _, b := range ids[i+1:] {
+			var s [32]byte
+			if _, err := io.ReadFull(partyRandom(cfg, a+"\x00"+b, "maskseed"), s[:]); err != nil {
+				return nil, fmt.Errorf("core: mask seed for (%s, %s): %w", a, b, err)
+			}
+			seeds[a][b] = s[:]
+			seeds[b][a] = s[:]
+		}
+	}
+	return seeds, nil
 }
 
 // releaseParties unwinds a partially-constructed or closing engine: it
@@ -360,8 +417,10 @@ func (e *Engine) PoolStats() paillier.PoolStats {
 	for _, p := range e.parties {
 		st := p.PoolStats()
 		agg.Ready += st.Ready
+		agg.Target += st.Target
 		agg.Hits += st.Hits
 		agg.Misses += st.Misses
+		agg.IdleRefills += st.IdleRefills
 		agg.Retries += st.Retries
 	}
 	return agg
@@ -407,6 +466,7 @@ func (e *Engine) Close() {
 // WindowResult is the public outcome of one trading window, as observed by
 // the experiment harness.
 type WindowResult struct {
+	// Window is the trading-window number.
 	Window int
 	// Kind is the evaluated market regime.
 	Kind market.Kind
@@ -420,9 +480,10 @@ type WindowResult struct {
 	Trades []market.Trade
 	// Degenerate marks windows with an empty coalition (no protocols run).
 	Degenerate bool
-	// SellerCount and BuyerCount are the coalition sizes (Fig 4).
+	// SellerCount is the seller-coalition size (Fig 4).
 	SellerCount int
-	BuyerCount  int
+	// BuyerCount is the buyer-coalition size (Fig 4).
+	BuyerCount int
 	// Duration is the wall-clock time of the window.
 	Duration time.Duration
 	// BytesOnWire is the transport traffic generated by the window.

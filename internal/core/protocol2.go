@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math/big"
 
-	"github.com/pem-go/pem/internal/gc"
 	"github.com/pem-go/pem/internal/market"
 )
 
@@ -13,11 +12,12 @@ import (
 // without revealing E_b or E_s.
 //
 // Round A aggregates Rb = Σ_buyers(|sn_j| + r_j) + Σ_sellers r_i under the
-// chosen seller Hr1's key; round B aggregates Rs = Σ_sellers(sn_i + r_i) +
-// Σ_buyers r_j under the chosen buyer Hr2's key. Because both rounds carry
-// the same total nonce mass T, comparing Rb and Rs is equivalent to
-// comparing E_b and E_s — which Hr1 and Hr2 do with the garbled-circuit
-// comparator, then broadcast the one-bit outcome.
+// chosen seller Hr1; round B aggregates Rs = Σ_sellers(sn_i + r_i) +
+// Σ_buyers r_j under the chosen buyer Hr2. Because both rounds carry the
+// same total nonce mass T, comparing Rb and Rs is equivalent to comparing
+// E_b and E_s — which Hr1 and Hr2 do through the backend's compareTotals
+// (a garbled-circuit comparison under the paillier backend, a masked
+// compare under hybrid), then the one-bit outcome is broadcast.
 //
 // The paper routes the final ciphertext of each round to the decryptor
 // without that decryptor's own nonce in the chain; here the decryptor adds
@@ -38,7 +38,7 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 	var rb uint64
 	switch {
 	case r.ID() == ros.hr1:
-		m, err := r.collect(ctx, ringA, tagA)
+		m, err := r.backend.collectSum(ctx, r, ringA, tagA)
 		if err != nil {
 			return 0, err
 		}
@@ -49,7 +49,7 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 		}
 		rb = m.Uint64()
 	case r.role != market.RoleOff:
-		if err := r.aggregate(ctx, ringA, ros.hr1, ros.hr1, tagA, contribA); err != nil {
+		if err := r.backend.aggregateSum(ctx, r, ringA, ros.hr1, tagA, contribA); err != nil {
 			return 0, err
 		}
 	}
@@ -66,7 +66,7 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 	var rs uint64
 	switch {
 	case r.ID() == ros.hr2:
-		m, err := r.collect(ctx, ringB, tagB)
+		m, err := r.backend.collectSum(ctx, r, ringB, tagB)
 		if err != nil {
 			return 0, err
 		}
@@ -76,68 +76,16 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 		}
 		rs = m.Uint64()
 	case r.role != market.RoleOff:
-		if err := r.aggregate(ctx, ringB, ros.hr2, ros.hr2, tagB, contribB); err != nil {
+		if err := r.backend.aggregateSum(ctx, r, ringB, ros.hr2, tagB, contribB); err != nil {
 			return 0, err
 		}
 	}
 
-	// Secure comparison between Hr1 (garbler, input Rb) and Hr2
-	// (evaluator, input Rs): general market iff Rb > Rs ⇔ E_b > E_s.
-	opts := gc.ProtocolOptions{
-		Group:          r.cfg.OTGroup,
-		Random:         r.random,
-		UseOTExtension: r.cfg.UseOTExtension,
-		DisableFreeXOR: r.cfg.DisableFreeXOR,
-		GRR3:           r.cfg.GRR3,
+	// Backend-specific comparison of the masked totals: Hr1 supplies Rb,
+	// Hr2 supplies Rs, everyone learns the same one-bit outcome.
+	masked := rb
+	if r.ID() == ros.hr2 {
+		masked = rs
 	}
-	session := r.tag("pme/cmp")
-	kindTag := r.tag("pme/kind")
-
-	switch r.ID() {
-	case ros.hr1:
-		res, err := gc.SecureCompareGarbler(ctx, r.conn, ros.hr2, session, rb, r.cfg.CompareBits, opts)
-		if err != nil {
-			return 0, fmt.Errorf("secure comparison: %w", err)
-		}
-		kind := market.ExtremeMarket
-		if res == gc.LeftGreater {
-			kind = market.GeneralMarket
-		}
-		// Hr1 announces the public one-bit outcome to everyone else
-		// except Hr2 (who learned it in the comparison).
-		msg := []byte{byte(kind)}
-		for _, id := range ros.all {
-			if id == r.ID() || id == ros.hr2 {
-				continue
-			}
-			if err := r.conn.Send(ctx, id, kindTag, msg); err != nil {
-				return 0, err
-			}
-		}
-		return kind, nil
-
-	case ros.hr2:
-		res, err := gc.SecureCompareEvaluator(ctx, r.conn, ros.hr1, session, rs, r.cfg.CompareBits, opts)
-		if err != nil {
-			return 0, fmt.Errorf("secure comparison: %w", err)
-		}
-		if res == gc.LeftGreater {
-			return market.GeneralMarket, nil
-		}
-		return market.ExtremeMarket, nil
-
-	default:
-		raw, err := r.conn.Recv(ctx, ros.hr1, kindTag)
-		if err != nil {
-			return 0, err
-		}
-		if len(raw) != 1 {
-			return 0, fmt.Errorf("bad market-kind announcement")
-		}
-		kind := market.Kind(raw[0])
-		if kind != market.GeneralMarket && kind != market.ExtremeMarket {
-			return 0, fmt.Errorf("invalid market kind %d", raw[0])
-		}
-		return kind, nil
-	}
+	return r.backend.compareTotals(ctx, r, masked)
 }

@@ -9,7 +9,6 @@ import (
 
 	"github.com/pem-go/pem/internal/fixed"
 	"github.com/pem-go/pem/internal/market"
-	"github.com/pem-go/pem/internal/paillier"
 )
 
 // privatePricing is Protocol 3: in a general market, a hash-chosen buyer Hb
@@ -48,7 +47,7 @@ func (r *windowRun) privatePricing(ctx context.Context) (price, pHat float64, er
 		if err != nil {
 			return 0, 0, fmt.Errorf("price term out of range: %w", err)
 		}
-		if err := r.pricingRingStep(ctx, tagRing, kFixed.Big(), termFixed.Big()); err != nil {
+		if err := r.backend.pricingFold(ctx, r, tagRing, kFixed.Big(), termFixed.Big()); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -125,24 +124,14 @@ func (r *windowRun) pricingRingStep(ctx context.Context, tag string, kContrib, t
 	return r.conn.Send(ctx, next, tag, payload)
 }
 
-// pricingAsHb is the chosen buyer's side: collect the aggregate, compute
-// and broadcast the clamped price.
+// pricingAsHb is the chosen buyer's side: collect the pair aggregate via
+// the backend, compute and broadcast the clamped price.
 func (r *windowRun) pricingAsHb(ctx context.Context, tagRing, tagPrice string) (price, pHat float64, err error) {
 	ros := r.ros
-	last := ros.sellers[len(ros.sellers)-1]
-	raw, err := r.conn.Recv(ctx, last, tagRing)
-	if err != nil {
-		return 0, 0, fmt.Errorf("pricing: recv aggregate: %w", err)
-	}
-	ctK, ctT, err := decodeCipherPair(raw)
+	sumKBig, sumTBig, err := r.backend.collectPair(ctx, r, tagRing)
 	if err != nil {
 		return 0, 0, err
 	}
-	sums, err := r.key.DecryptBatch(r.workers, []*paillier.Ciphertext{ctK, ctT})
-	if err != nil {
-		return 0, 0, fmt.Errorf("pricing: decrypt aggregates: %w", err)
-	}
-	sumKBig, sumTBig := sums[0], sums[1]
 	sumK, err := fixed.FromBig(sumKBig)
 	if err != nil {
 		return 0, 0, fmt.Errorf("pricing: Σk overflow: %w", err)

@@ -61,7 +61,7 @@ func (r *windowRun) privateDistribution(ctx context.Context, kind market.Kind, p
 
 	// --- Step 1: demand-side aggregation of Enc_hs(|sn|). ---
 	if onDemandSide {
-		if err := r.distributionAggregate(ctx, demandSide, hs, tagRing, tagTotal, absSn); err != nil {
+		if err := r.backend.distributionTotal(ctx, r, demandSide, hs, tagRing, tagTotal, absSn); err != nil {
 			return nil, err
 		}
 	}
@@ -71,12 +71,12 @@ func (r *windowRun) privateDistribution(ctx context.Context, kind market.Kind, p
 	switch {
 	case r.ID() == hs:
 		var err error
-		ratios, err = r.collectRatios(ctx, demandSide, supplySide, tagMasked, tagRatios)
+		ratios, err = r.backend.ratios(ctx, r, demandSide, supplySide, tagMasked, tagRatios)
 		if err != nil {
 			return nil, err
 		}
 	case onDemandSide:
-		if err := r.sendMaskedReciprocal(ctx, hs, tagTotal, tagMasked, absSn); err != nil {
+		if err := r.backend.maskedReciprocal(ctx, r, hs, tagTotal, tagMasked, absSn); err != nil {
 			return nil, err
 		}
 	}

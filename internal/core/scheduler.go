@@ -19,16 +19,21 @@ import (
 
 // WindowJob pairs a window number with the fleet's private inputs for it.
 type WindowJob struct {
+	// Window is the trading-window number the job runs as.
 	Window int
+	// Inputs are the fleet's private inputs, one per agent in roster order.
 	Inputs []market.WindowInput
 }
 
 // WindowError wraps a failure with the window it occurred in.
 type WindowError struct {
+	// Window is the trading window that failed.
 	Window int
-	Err    error
+	// Err is the underlying failure.
+	Err error
 }
 
+// Error formats the failure with its window number.
 func (e *WindowError) Error() string { return fmt.Sprintf("core: window %d: %v", e.Window, e.Err) }
 
 // Unwrap supports errors.Is/As.

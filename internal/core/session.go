@@ -37,20 +37,36 @@ type Party struct {
 	// theirs.
 	workers *paillier.Workers
 
+	// backend is the window crypto layer selected by Config.CryptoBackend;
+	// stateless and shared by every window in flight.
+	backend cryptoBackend
+
+	// maskSeeds holds the engine-provisioned pairwise masking seeds of the
+	// hybrid backend (peer -> 32-byte shared seed); nil under the paillier
+	// backend and for standalone parties.
+	maskSeeds map[string][]byte
+
 	poolMu sync.Mutex
 	pools  map[string]*paillier.NoncePool // peer -> blinding-factor pool
 }
 
-// newParty assembles a session from provisioned key material.
-func newParty(cfg Config, agent market.Agent, conn transport.Conn, key *paillier.PrivateKey, dir map[string]*paillier.PublicKey, workers *paillier.Workers) *Party {
+// newParty assembles a session from provisioned key material. cfg must have
+// passed Validate, so the backend lookup cannot fail.
+func newParty(cfg Config, agent market.Agent, conn transport.Conn, key *paillier.PrivateKey, dir map[string]*paillier.PublicKey, workers *paillier.Workers, maskSeeds map[string][]byte) *Party {
+	backend, err := newBackend(cfg.CryptoBackend)
+	if err != nil {
+		panic(err) // unreachable: Validate gates CryptoBackend
+	}
 	return &Party{
-		agent:   agent,
-		cfg:     cfg,
-		conn:    conn,
-		key:     key,
-		dir:     dir,
-		workers: workers,
-		pools:   make(map[string]*paillier.NoncePool),
+		agent:     agent,
+		cfg:       cfg,
+		conn:      conn,
+		key:       key,
+		dir:       dir,
+		workers:   workers,
+		backend:   backend,
+		maskSeeds: maskSeeds,
+		pools:     make(map[string]*paillier.NoncePool),
 	}
 }
 
@@ -69,11 +85,19 @@ func (p *Party) windowRandom(window int) io.Reader {
 	return partyRandom(p.cfg, p.agent.ID, fmt.Sprintf("protocol/w%d", window))
 }
 
+// poolTarget is the per-pool stock of precomputed blinding factors. With
+// refill dispatched across the shared worker pool, a deeper stock costs
+// idle time rather than protocol latency, so whole windows can run off
+// precomputed factors.
+const poolTarget = 8
+
 // poolFor returns (lazily creating) the blinding-factor pool for a peer
 // key. Pools are session-scoped: they persist across windows and are shared
 // by every window in flight (NoncePool is safe for concurrent Take). Each
 // pool draws from its own derived randomness stream so background refills
-// never race the protocol-path readers.
+// never race the protocol-path readers; the refill exponentiations run
+// across the fleet-wide crypto worker pool, converting idle time between
+// windows into ready factors without unbounded goroutine growth.
 func (p *Party) poolFor(holder string, pk *paillier.PublicKey) *paillier.NoncePool {
 	p.poolMu.Lock()
 	defer p.poolMu.Unlock()
@@ -81,8 +105,9 @@ func (p *Party) poolFor(holder string, pk *paillier.PublicKey) *paillier.NoncePo
 		return pool
 	}
 	pool := paillier.NewNoncePool(pk, paillier.PoolConfig{
-		Target:  4,
+		Target:  poolTarget,
 		Workers: 1,
+		Shared:  p.workers,
 		Random:  partyRandom(p.cfg, p.agent.ID, "pool/"+holder),
 	})
 	p.pools[holder] = pool
@@ -100,8 +125,10 @@ func (p *Party) PoolStats() paillier.PoolStats {
 	for _, pool := range p.pools {
 		st := pool.Stats()
 		agg.Ready += st.Ready
+		agg.Target += st.Target
 		agg.Hits += st.Hits
 		agg.Misses += st.Misses
+		agg.IdleRefills += st.IdleRefills
 		agg.Retries += st.Retries
 	}
 	return agg

@@ -35,12 +35,20 @@ func NewStandaloneParty(cfg Config, agent market.Agent, conn transport.Conn) (*P
 	if conn.Party() != agent.ID {
 		return nil, fmt.Errorf("core: transport party %q != agent %q", conn.Party(), agent.ID)
 	}
+	if cfg.CryptoBackend == BackendHybrid {
+		// The hybrid backend's pairwise mask seeds are engine-provisioned;
+		// a standalone fleet would need a pairwise DH handshake grafted
+		// onto ExchangeKeys to establish them. Until that exists, fail
+		// loudly instead of running a window that deadlocks on missing
+		// seeds.
+		return nil, errors.New("core: hybrid backend not supported for standalone parties (mask seeds are engine-provisioned); use the paillier backend")
+	}
 	key, err := paillier.GenerateKey(partyRandom(cfg, agent.ID, "keygen"), cfg.KeyBits)
 	if err != nil {
 		return nil, fmt.Errorf("core: keygen: %w", err)
 	}
 	dir := map[string]*paillier.PublicKey{agent.ID: &key.PublicKey}
-	return newParty(cfg, agent, conn, key, dir, paillier.NewWorkers(cfg.CryptoWorkers)), nil
+	return newParty(cfg, agent, conn, key, dir, paillier.NewWorkers(cfg.CryptoWorkers), nil), nil
 }
 
 // ExchangeKeys broadcasts this party's Paillier public key to every peer
@@ -85,13 +93,20 @@ func (p *Party) ExchangeKeys(ctx context.Context, peers []string) error {
 // PartyOutcome is the public result of one window as seen by a standalone
 // party, plus the trades it participated in as the initiating side.
 type PartyOutcome struct {
-	Window      int
-	Kind        market.Kind
-	Price       float64
-	Degenerate  bool
+	// Window is the trading-window number.
+	Window int
+	// Kind is the evaluated market regime.
+	Kind market.Kind
+	// Price is the effective trading price in cents/kWh.
+	Price float64
+	// Degenerate marks windows with an empty coalition (no protocols run).
+	Degenerate bool
+	// SellerCount is the seller-coalition size.
 	SellerCount int
-	BuyerCount  int
-	Trades      []market.Trade
+	// BuyerCount is the buyer-coalition size.
+	BuyerCount int
+	// Trades are the allocations this party initiated as a seller.
+	Trades []market.Trade
 }
 
 // RunTradingWindow executes Protocol 1 for one window from this party's

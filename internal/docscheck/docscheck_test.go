@@ -27,6 +27,7 @@ var packages = []string{
 	"internal/dataset",
 	"internal/netem",
 	"internal/paillier",
+	"internal/core",
 }
 
 // repoRoot locates the repository root from this test file's path.

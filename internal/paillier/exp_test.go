@@ -1,0 +1,173 @@
+package paillier
+
+import (
+	"fmt"
+	"math/big"
+	"testing"
+)
+
+func TestExpWindowedMatchesBigExp(t *testing.T) {
+	rng := testRand(11)
+	mod := new(big.Int).Lsh(big.NewInt(1), 512)
+	mod.Add(mod, big.NewInt(12345)) // non-power-of-two modulus
+	for _, bits := range []int{1, 2, 3, 4, 5, 8, 15, 16, 17, 31, 47, 48, 49, 63, 64, 65, 128} {
+		for i := 0; i < 20; i++ {
+			base := new(big.Int).Rand(rng, mod)
+			exp := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+			got := expWindowed(base, exp, mod)
+			want := new(big.Int).Exp(base, exp, mod)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("expWindowed(%v, %v) = %v, want %v", base, exp, got, want)
+			}
+		}
+	}
+}
+
+func TestExpWindowedEdgeCases(t *testing.T) {
+	mod := big.NewInt(1_000_003)
+	cases := []struct{ base, exp, want int64 }{
+		{0, 0, 1},
+		{7, 0, 1},
+		{7, 1, 7},
+		{7, 2, 49},
+		{0, 5, 0},
+		{1, 1 << 30, 1},
+		{2, 19, 1 << 19},
+	}
+	for _, c := range cases {
+		got := expWindowed(big.NewInt(c.base), big.NewInt(c.exp), mod)
+		if got.Int64() != c.want {
+			t.Errorf("expWindowed(%d, %d) = %v, want %d", c.base, c.exp, got, c.want)
+		}
+	}
+	// Base larger than the modulus must be reduced first.
+	got := expWindowed(big.NewInt(1_000_003+5), big.NewInt(3), mod)
+	if want := new(big.Int).Exp(big.NewInt(5), big.NewInt(3), mod); got.Cmp(want) != 0 {
+		t.Errorf("unreduced base: got %v want %v", got, want)
+	}
+}
+
+func TestScalarMulFastPaths(t *testing.T) {
+	key := testKey(t)
+	rng := testRand(12)
+	c, err := key.EncryptInt64(rng, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("zero", func(t *testing.T) {
+		out, err := key.ScalarMul(c, big.NewInt(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.C.Cmp(big.NewInt(1)) != 0 {
+			t.Errorf("E(m)^0 = %v, want 1", out.C)
+		}
+		if m, err := key.DecryptInt64(out); err != nil || m != 0 {
+			t.Errorf("decrypt(E(m)^0) = %d, %v; want 0", m, err)
+		}
+	})
+	t.Run("one", func(t *testing.T) {
+		out, err := key.ScalarMul(c, big.NewInt(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.C.Cmp(c.C) != 0 {
+			t.Error("E(m)^1 should preserve the ciphertext value")
+		}
+		if out.C == c.C {
+			t.Error("E(m)^1 must not alias the input ciphertext")
+		}
+		if m, err := key.DecryptInt64(out); err != nil || m != 1234 {
+			t.Errorf("decrypt = %d, %v; want 1234", m, err)
+		}
+	})
+	t.Run("minus-one", func(t *testing.T) {
+		out, err := key.ScalarMul(c, big.NewInt(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m, err := key.DecryptInt64(out); err != nil || m != -1234 {
+			t.Errorf("decrypt = %d, %v; want -1234", m, err)
+		}
+	})
+	// Boundary scalars around the fast-path cutoffs and the windowed/big.Exp
+	// threshold, checked against the plaintext product.
+	for _, k := range []int64{2, -2, 3, 15, 16, 17, -17, 1 << 20, -(1 << 20)} {
+		out, err := key.ScalarMul(c, big.NewInt(k))
+		if err != nil {
+			t.Fatalf("ScalarMul(%d): %v", k, err)
+		}
+		m, err := key.DecryptInt64(out)
+		if err != nil {
+			t.Fatalf("Decrypt after ScalarMul(%d): %v", k, err)
+		}
+		if m != 1234*k {
+			t.Errorf("ScalarMul(%d) decrypts to %d, want %d", k, m, 1234*k)
+		}
+	}
+	// A scalar above smallExpBits exercises the big.Exp fallback; verify via
+	// homomorphism on an encryption of 1.
+	cOne, err := key.EncryptInt64(rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := new(big.Int).Lsh(big.NewInt(1), 70)
+	out, err := key.ScalarMul(cOne, huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := key.Decrypt(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cmp(huge) != 0 {
+		t.Errorf("ScalarMul(2^70) decrypts to %v, want 2^70", m)
+	}
+}
+
+// BenchmarkExpWindowed tracks the 2^k-ary ladder against math/big's Exp
+// across the exponent sizes Protocol 4 produces; modExp's routing decision
+// (currently: always big.Exp) is based on this comparison.
+func BenchmarkExpWindowed(b *testing.B) {
+	key := testKey(b)
+	rng := testRand(14)
+	base := new(big.Int).Rand(rng, key.N2)
+	for _, bits := range []int{8, 24, 40, 64} {
+		exp := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(bits)))
+		exp.SetBit(exp, bits-1, 1)
+		name := fmt.Sprintf("%dbit", bits)
+		b.Run("ladder-"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = expWindowed(base, exp, key.N2)
+			}
+		})
+		b.Run("bigexp-"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = new(big.Int).Exp(base, exp, key.N2)
+			}
+		})
+	}
+}
+
+func BenchmarkScalarMulSmallExponent(b *testing.B) {
+	key := testKey(b)
+	rng := testRand(13)
+	c, err := key.EncryptInt64(rng, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := big.NewInt(976562500) // a typical ~30-bit Protocol 4 reciprocal
+	b.Run("windowed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := key.ScalarMul(c, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bigexp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = new(big.Int).Exp(c.C, k, key.N2)
+		}
+	})
+}

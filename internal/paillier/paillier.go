@@ -310,21 +310,30 @@ func (pk *PublicKey) AddPlain(c *Ciphertext, m *big.Int) (*Ciphertext, error) {
 
 // ScalarMul returns a ciphertext encrypting k·plaintext(c) (E(a)^k mod n²).
 // Negative scalars are supported through the signed embedding.
+//
+// The exponentiation is skipped entirely for k ∈ {0, ±1}: E(a)^0 = 1 (a
+// valid, deterministic encryption of zero), E(a)^1 = E(a), and E(a)^{-1}
+// needs only the modular inverse. Other small scalars — Protocol 4's
+// reciprocal multipliers are ~20–40 bits — take a 2^k-ary windowed ladder
+// that avoids math/big's fixed Montgomery setup cost (see exp.go).
 func (pk *PublicKey) ScalarMul(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
 	if err := pk.validate(c); err != nil {
 		return nil, err
 	}
-	exp := new(big.Int).Set(k)
+	if k.Sign() == 0 {
+		return &Ciphertext{C: big.NewInt(1)}, nil
+	}
 	base := new(big.Int).Set(c.C)
-	if exp.Sign() < 0 {
-		base.ModInverse(base, pk.N2)
-		if base == nil {
+	if k.Sign() < 0 {
+		if base.ModInverse(base, pk.N2) == nil {
 			return nil, ErrInvalidCiphertext
 		}
-		exp.Neg(exp)
 	}
-	out := new(big.Int).Exp(base, exp, pk.N2)
-	return &Ciphertext{C: out}, nil
+	if k.BitLen() == 1 { // k = ±1: nothing left to exponentiate
+		return &Ciphertext{C: base}, nil
+	}
+	exp := new(big.Int).Abs(k)
+	return &Ciphertext{C: modExp(base, exp, pk.N2)}, nil
 }
 
 // Rerandomize multiplies c by a fresh encryption of zero, hiding any link

@@ -17,9 +17,17 @@ import (
 // in parallel during idle time", which is why runtime in Fig. 5(b) is
 // insensitive to the key size.
 //
+// Refill runs in the background whenever the stock is below target — at
+// construction, after every Take, and continuously between windows — so idle
+// CPU is converted into ready factors rather than waiting for demand. With
+// PoolConfig.Shared set, the individual exponentiations are dispatched
+// across the shared Workers pool, letting many parties' pools refill in
+// parallel under one process-wide concurrency cap.
+//
 // The pool degrades gracefully: if drained, Take computes a factor inline.
 type NoncePool struct {
-	pk *PublicKey
+	pk     *PublicKey
+	shared *Workers // optional refill executor (retained until Close)
 
 	randMu sync.Mutex
 	random io.Reader
@@ -32,10 +40,13 @@ type NoncePool struct {
 	done   chan struct{}
 	target int
 
+	closeOnce sync.Once
+
 	// Health counters (see Stats).
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	retries atomic.Uint64
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	retries     atomic.Uint64
+	idleRefills atomic.Uint64
 }
 
 // PoolStats is a snapshot of a pool's health counters. A growing Misses
@@ -46,10 +57,16 @@ type NoncePool struct {
 type PoolStats struct {
 	// Ready is the number of precomputed factors currently available.
 	Ready int
+	// Target is the fill level the pool tries to maintain; Ready/Target is
+	// the cache fill ratio.
+	Target int
 	// Hits counts Take calls served from the precomputed stock.
 	Hits uint64
 	// Misses counts Take calls that fell back to inline computation.
 	Misses uint64
+	// IdleRefills counts factors computed by the background refill path
+	// (as opposed to inline on a miss).
+	IdleRefills uint64
 	// Retries counts worker randomness-read failures that were retried.
 	Retries uint64
 }
@@ -60,6 +77,11 @@ type PoolConfig struct {
 	Target int
 	// Workers is the number of background goroutines. Defaults to 1.
 	Workers int
+	// Shared, when non-nil, is a Workers pool the background refill
+	// dispatches its exponentiations to, so refill parallelism is governed
+	// by the process-wide crypto cap instead of this pool's private worker
+	// count. The pool retains a reference until Close.
+	Shared *Workers
 	// Random overrides the randomness source (defaults to crypto/rand).
 	Random io.Reader
 }
@@ -78,6 +100,7 @@ func NewNoncePool(pk *PublicKey, cfg PoolConfig) *NoncePool {
 	}
 	p := &NoncePool{
 		pk:     pk,
+		shared: cfg.Shared.Retain(),
 		random: random,
 		refill: make(chan struct{}, 1),
 		stop:   make(chan struct{}),
@@ -107,6 +130,29 @@ func (p *NoncePool) kick() {
 	}
 }
 
+// deficit reports how many factors are missing from the target stock.
+func (p *NoncePool) deficit() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.target - len(p.factors)
+}
+
+// put appends a background-computed factor, unless the pool stopped while it
+// was being computed (late factors are dropped so Close leaves nothing
+// behind).
+func (p *NoncePool) put(f *big.Int) {
+	select {
+	case <-p.stop:
+		f.SetInt64(0)
+		return
+	default:
+	}
+	p.mu.Lock()
+	p.factors = append(p.factors, f)
+	p.mu.Unlock()
+	p.idleRefills.Add(1)
+}
+
 func (p *NoncePool) worker() {
 	var delay time.Duration // current retry backoff; reset on success
 	for {
@@ -115,17 +161,21 @@ func (p *NoncePool) worker() {
 			return
 		case <-p.refill:
 		}
-		for {
-			p.mu.Lock()
-			need := len(p.factors) < p.target
-			p.mu.Unlock()
-			if !need {
-				break
-			}
+		for p.deficit() > 0 {
 			select {
 			case <-p.stop:
 				return
 			default:
+			}
+			if p.shared != nil {
+				if !p.refillShared() {
+					if !p.backoff(&delay) {
+						return
+					}
+					continue
+				}
+				delay = 0
+				continue
 			}
 			f, err := p.pk.BlindingFactor(p.lockedRandom())
 			if err != nil {
@@ -139,11 +189,34 @@ func (p *NoncePool) worker() {
 				continue
 			}
 			delay = 0
-			p.mu.Lock()
-			p.factors = append(p.factors, f)
-			p.mu.Unlock()
+			p.put(f)
 		}
 	}
+}
+
+// refillShared dispatches the current deficit across the shared Workers
+// pool and waits for the batch; it reports whether any factor was produced
+// (false means every draw failed and the caller should back off).
+func (p *NoncePool) refillShared() bool {
+	n := p.deficit()
+	if n <= 0 {
+		return true
+	}
+	var wg sync.WaitGroup
+	var produced atomic.Uint64
+	for i := 0; i < n; i++ {
+		p.shared.Go(&wg, func() {
+			f, err := p.pk.BlindingFactor(p.lockedRandom())
+			if err != nil {
+				p.retries.Add(1)
+				return
+			}
+			p.put(f)
+			produced.Add(1)
+		})
+	}
+	wg.Wait()
+	return produced.Load() > 0
 }
 
 // Backoff bounds for worker randomness-read retries.
@@ -217,10 +290,12 @@ func (p *NoncePool) Stats() PoolStats {
 	ready := len(p.factors)
 	p.mu.Unlock()
 	return PoolStats{
-		Ready:   ready,
-		Hits:    p.hits.Load(),
-		Misses:  p.misses.Load(),
-		Retries: p.retries.Load(),
+		Ready:       ready,
+		Target:      p.target,
+		Hits:        p.hits.Load(),
+		Misses:      p.misses.Load(),
+		IdleRefills: p.idleRefills.Load(),
+		Retries:     p.retries.Load(),
 	}
 }
 
@@ -231,7 +306,10 @@ func (p *NoncePool) Len() int {
 	return len(p.factors)
 }
 
-// Close stops the background workers and waits for them to exit.
+// Close stops the background workers, waits for them to exit, zeroes and
+// drops the precomputed factors (they are key-specific secrets-adjacent
+// material with no further use), and releases the shared Workers reference.
+// Close is idempotent.
 func (p *NoncePool) Close() {
 	select {
 	case <-p.stop:
@@ -239,4 +317,14 @@ func (p *NoncePool) Close() {
 		close(p.stop)
 	}
 	<-p.done
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		for _, f := range p.factors {
+			f.SetInt64(0)
+		}
+		p.factors = nil
+		p.mu.Unlock()
+		p.shared.Release()
+		p.shared = nil
+	})
 }

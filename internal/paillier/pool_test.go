@@ -1,0 +1,103 @@
+package paillier
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitForFill polls until the pool reports at least n ready factors.
+func waitForFill(t *testing.T, p *NoncePool, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Len() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool never reached %d ready factors (have %d)", n, p.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNoncePoolSharedWorkersRefill(t *testing.T) {
+	key := testKey(t)
+	w := NewWorkers(4)
+	defer w.Release()
+
+	p := NewNoncePool(&key.PublicKey, PoolConfig{Target: 8, Shared: w, Random: testRand(21)})
+	waitForFill(t, p, 8)
+
+	// Drain the stock; the background refill must restore it without any
+	// further Take traffic (idle-time refill, not on-demand).
+	for i := 0; i < 8; i++ {
+		if _, err := p.Take(context.Background()); err != nil {
+			t.Fatalf("Take: %v", err)
+		}
+	}
+	waitForFill(t, p, 8)
+
+	st := p.Stats()
+	if st.Target != 8 {
+		t.Errorf("Stats.Target = %d, want 8", st.Target)
+	}
+	if st.IdleRefills < 16 {
+		t.Errorf("Stats.IdleRefills = %d, want >= 16 (initial fill + refill)", st.IdleRefills)
+	}
+	if st.Hits != 8 {
+		t.Errorf("Stats.Hits = %d, want 8", st.Hits)
+	}
+
+	p.Close()
+	if got := p.Len(); got != 0 {
+		t.Errorf("Len after Close = %d, want 0 (factors drained)", got)
+	}
+	// The pool must have dropped its shared-workers reference: ours is the
+	// only one left.
+	if got := w.Refs(); got != 1 {
+		t.Errorf("workers refs after pool Close = %d, want 1", got)
+	}
+}
+
+func TestNoncePoolCloseIdempotent(t *testing.T) {
+	key := testKey(t)
+	w := NewWorkers(2)
+	defer w.Release()
+	p := NewNoncePool(&key.PublicKey, PoolConfig{Target: 2, Shared: w, Random: testRand(22)})
+	waitForFill(t, p, 2)
+	p.Close()
+	p.Close() // second Close must not double-release the shared pool
+	if got := w.Refs(); got != 1 {
+		t.Errorf("workers refs after double Close = %d, want 1", got)
+	}
+}
+
+// TestNoncePoolGoroutineLeak is the regression test for background workers
+// outliving Close: every goroutine a pool starts must be gone once Close
+// returns.
+func TestNoncePoolGoroutineLeak(t *testing.T) {
+	key := testKey(t)
+	w := NewWorkers(4)
+	defer w.Release()
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		p := NewNoncePool(&key.PublicKey, PoolConfig{Target: 4, Workers: 2, Shared: w, Random: testRand(int64(23 + i))})
+		waitForFill(t, p, 1)
+		if _, err := p.Take(context.Background()); err != nil {
+			t.Fatalf("Take: %v", err)
+		}
+		p.Close()
+	}
+	// Give any stray goroutine scheduling slack before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

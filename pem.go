@@ -129,6 +129,16 @@ type Config struct {
 	// paper's O(n)-latency sequential chain) or AggregationTree (log-depth
 	// binary reduction with the same leakage profile).
 	Aggregation string
+	// CryptoBackend selects the cryptographic realization of the window
+	// protocols: BackendPaillier (default — the paper's construction,
+	// Paillier everywhere) or BackendHybrid, which computes the coalition
+	// aggregations of Protocols 2–4 over pairwise seeded additive masking
+	// with fixed-width frames and keeps Paillier only for Protocol 4's
+	// masked-reciprocal ratio step. Both backends produce bit-identical
+	// prices, allocations and ledger chains; hybrid trades the stronger
+	// per-message Paillier hiding for one-time pad masking provisioned by
+	// the market (see DESIGN.md §12 for the threat-model comparison).
+	CryptoBackend string
 	// Network selects a deterministic network-emulation topology for the
 	// market's transport: NetworkLAN, NetworkMetro, NetworkWAN,
 	// NetworkCellular or NetworkLossy. When set, every protocol message is
@@ -145,6 +155,18 @@ type Config struct {
 const (
 	AggregationRing = core.AggregationRing
 	AggregationTree = core.AggregationTree
+)
+
+// Crypto backends for Config.CryptoBackend.
+const (
+	// BackendPaillier runs every protocol step under Paillier homomorphic
+	// encryption with garbled-circuit comparison — the paper's construction.
+	BackendPaillier = core.BackendPaillier
+	// BackendHybrid replaces the Protocol 2/3 aggregations and comparison
+	// with seeded additive masking over fixed-width integer frames, keeping
+	// Paillier for Protocol 4's ratio step. Outcomes are bit-identical to
+	// BackendPaillier; per-window cost drops by an order of magnitude.
+	BackendHybrid = core.BackendHybrid
 )
 
 // Network-emulation topology presets for Config.Network.
@@ -191,6 +213,7 @@ func (cfg Config) coreConfig() core.Config {
 		MaxInflightWindows: cfg.MaxInflightWindows,
 		CryptoWorkers:      cfg.CryptoWorkers,
 		Aggregation:        cfg.Aggregation,
+		CryptoBackend:      cfg.CryptoBackend,
 		Network:            cfg.Network,
 	}
 }
