@@ -14,6 +14,7 @@
 //	pem-bench -fig live         # epoched live grid under agent churn
 //	pem-bench -fig net          # communication cost on emulated networks
 //	pem-bench -fig crypto       # paillier vs hybrid backend ablation
+//	pem-bench -fig scale        # hierarchical grid at 100k+ agents, RSS-gated
 //	pem-bench -table 1          # average bandwidth by key size
 //	pem-bench -all              # everything
 //
@@ -48,6 +49,18 @@
 // speedup column is only reported for runs whose outcomes are provably
 // unchanged. Restrict the preset sweep with -net; -csv writes the table.
 //
+// The scale figure measures the hierarchical grid's streaming and
+// settlement plane at fleet scale: a seeded trading day over fleets up to
+// -homes agents (default 100k; 1M with -full), swept against the -tiers
+// hierarchy depth. Every coalition is two homes — below the MinCoalition
+// floor — so each folds to the plaintext grid-tariff path and the figure
+// isolates the supervisor, tier netting and memory machinery from crypto
+// cost. Day traces synthesize lazily per coalition and stream through
+// Grid.Stream, so resident memory stays bounded by the coalitions in
+// flight; the RSS columns come from /proc/self/status, and with
+// -rss-budget-mb N the run fails hard when the process high-water mark
+// exceeds N MiB — CI uses this as the memory-regression gate.
+//
 // The net figure prices the protocols on deterministic emulated networks:
 // the same trading-day slice swept over the topology presets (lan, metro,
 // wan, cellular, lossy — restrict with -net) × aggregation topology (ring
@@ -62,6 +75,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -94,12 +110,14 @@ type options struct {
 	epochs    int
 	churn     float64
 	network   string
+	tiers     string
+	rssBudget int
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("pem-bench", flag.ContinueOnError)
 	var opt options
-	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d, pipe, par, grid, live, net, crypto")
+	fs.StringVar(&opt.fig, "fig", "", "figure to regenerate: 4, 5a, 5b, 5c, 6a, 6b, 6c, 6d, pipe, par, grid, live, net, crypto, scale")
 	fs.IntVar(&opt.table, "table", 0, "table to regenerate: 1")
 	fs.BoolVar(&opt.all, "all", false, "regenerate every figure and table")
 	fs.BoolVar(&opt.full, "full", false, "paper scale (slow) instead of laptop scale")
@@ -117,6 +135,8 @@ func run(args []string) error {
 	fs.IntVar(&opt.epochs, "epochs", 4, "trading days to simulate in the live figure")
 	fs.Float64Var(&opt.churn, "churn", 0.2, "fleet turnover per epoch boundary in the live figure")
 	fs.StringVar(&opt.network, "net", "", "restrict the net figure to one topology preset (lan, metro, wan, cellular, lossy); empty sweeps all")
+	fs.StringVar(&opt.tiers, "tiers", "8,4", "tier fanouts for the scale figure (coalitions per district, districts per region, …)")
+	fs.IntVar(&opt.rssBudget, "rss-budget-mb", 0, "fail the scale figure when the process RSS high-water mark exceeds this many MiB (0 = no gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,12 +160,13 @@ func run(args []string) error {
 		"live":   figLive,
 		"net":    figNet,
 		"crypto": figCrypto,
+		"scale":  figScale,
 		"t1":     table1,
 	}
 	var targets []string
 	switch {
 	case opt.all:
-		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "live", "net", "crypto", "t1"}
+		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "live", "net", "crypto", "scale", "t1"}
 	case opt.table == 1:
 		targets = []string{"t1"}
 	case opt.table != 0:
@@ -178,6 +199,32 @@ func (o options) scale(fullHomes, fullWindows, laptopHomes, laptopWindows int) (
 		windows = o.windows
 	}
 	return homes, windows
+}
+
+// keybits resolves the Paillier key size for a figure: the laptop default,
+// the -full default, or the -keybits override.
+func (o options) keybits(laptop, full int) int {
+	bits := laptop
+	if o.full {
+		bits = full
+	}
+	if o.keyBits > 0 {
+		bits = o.keyBits
+	}
+	return bits
+}
+
+// flushCSV writes a finished sweep to -csv when set, announcing the path.
+// Every figure that tabulates rows ends with it.
+func (o options) flushCSV(rows [][]string) error {
+	if o.csvPath == "" {
+		return nil
+	}
+	if err := writeCSV(o.csvPath, rows); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", o.csvPath)
+	return nil
 }
 
 func (o options) trace(homes, windows int) (*pem.Trace, error) {
@@ -218,19 +265,9 @@ func runPrivateWindows(o options, homes, windows, keyBits int) (avgPerWindow tim
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	first := 360 - windows/2
-	if first < 0 || windows > 720 {
-		first = 0
-	}
-	inputs := make([][]pem.WindowInput, windows)
-	for w := 0; w < windows; w++ {
-		idx := first + w
-		if idx >= tr.Windows {
-			idx = tr.Windows - 1
-		}
-		if inputs[w], err = tr.WindowInputs(idx); err != nil {
-			return 0, 0, 0, err
-		}
+	inputs, err := middayInputs(tr, windows)
+	if err != nil {
+		return 0, 0, 0, err
 	}
 	seed := o.seed
 	m, err := pem.NewMarket(pem.Config{
@@ -265,13 +302,7 @@ func runPrivateWindows(o options, homes, windows, keyBits int) (avgPerWindow tim
 // scheduling changes.
 func pipeComparison(o options) error {
 	homes, windows := o.scale(100, 48, 8, 8)
-	keyBits := 512
-	if o.full {
-		keyBits = 2048
-	}
-	if o.keyBits > 0 {
-		keyBits = o.keyBits
-	}
+	keyBits := o.keybits(512, 2048)
 	depths := []int{1, 2, 4, 8}
 	if o.inflight > 1 && o.inflight != 2 && o.inflight != 4 && o.inflight != 8 {
 		depths = append(depths, o.inflight)
@@ -301,13 +332,7 @@ func pipeComparison(o options) error {
 // identical under every configuration; only the scheduling changes.
 func parComparison(o options) error {
 	homes, windows := o.scale(100, 8, 32, 4)
-	keyBits := 512
-	if o.full {
-		keyBits = 2048
-	}
-	if o.keyBits > 0 {
-		keyBits = o.keyBits
-	}
+	keyBits := o.keybits(512, 2048)
 	workerCounts := []int{1, 2, 4, 8}
 	if o.cryptoWrk > 1 && o.cryptoWrk != 2 && o.cryptoWrk != 4 && o.cryptoWrk != 8 {
 		workerCounts = append(workerCounts, o.cryptoWrk)
@@ -337,16 +362,12 @@ func parComparison(o options) error {
 // fig5a: average runtime per window for several agent counts.
 func fig5a(o options) error {
 	ns := []int{8, 16, 24}
-	keyBits := 512
 	windowsList := []int{2, 4, 8}
 	if o.full {
 		ns = []int{100, 200, 300}
-		keyBits = 2048
 		windowsList = []int{60, 360, 720}
 	}
-	if o.keyBits > 0 {
-		keyBits = o.keyBits
-	}
+	keyBits := o.keybits(512, 2048)
 	header(fmt.Sprintf("Fig. 5(a) — avg runtime per window (%d-bit keys)", keyBits))
 	fmt.Printf("%8s %8s %20s\n", "agents", "windows", "avg runtime/window")
 	for _, n := range ns {
@@ -535,13 +556,7 @@ func fig6d(o options) error {
 // differ (different rosters), which is the point of the experiment.
 func figGrid(o options) error {
 	homes, windows := o.scale(192, 48, 16, 4)
-	keyBits := 512
-	if o.full {
-		keyBits = 1024
-	}
-	if o.keyBits > 0 {
-		keyBits = o.keyBits
-	}
+	keyBits := o.keybits(512, 1024)
 	// One fleet for the whole sweep: four scenario blocks regardless of the
 	// coalition count under test, so every k trades the same homes.
 	blocks := 4
@@ -631,13 +646,7 @@ func figGrid(o options) error {
 		})
 	}
 	fmt.Println("(same fleet at every row; aggregate throughput across concurrent coalition markets)")
-	if o.csvPath != "" {
-		if err := writeCSV(o.csvPath, rows); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", o.csvPath)
-	}
-	return nil
+	return o.flushCSV(rows)
 }
 
 // netDayStats aggregates one emulated trading day for the net figure.
@@ -660,19 +669,9 @@ func runNetworkedDay(o options, homes, windows, keyBits int, topology, agg strin
 	if err != nil {
 		return nil, err
 	}
-	first := 360 - windows/2
-	if first < 0 || windows > 720 {
-		first = 0
-	}
-	inputs := make([][]pem.WindowInput, windows)
-	for w := 0; w < windows; w++ {
-		idx := first + w
-		if idx >= tr.Windows {
-			idx = tr.Windows - 1
-		}
-		if inputs[w], err = tr.WindowInputs(idx); err != nil {
-			return nil, err
-		}
+	inputs, err := middayInputs(tr, windows)
+	if err != nil {
+		return nil, err
 	}
 	seed := o.seed
 	m, err := pem.NewMarket(pem.Config{
@@ -715,13 +714,7 @@ func runNetworkedDay(o options, homes, windows, keyBits int, topology, agg strin
 // crypto speed under every topology.
 func figNet(o options) error {
 	homes, windows := o.scale(48, 8, 8, 2)
-	keyBits := 512
-	if o.full {
-		keyBits = 1024
-	}
-	if o.keyBits > 0 {
-		keyBits = o.keyBits
-	}
+	keyBits := o.keybits(512, 1024)
 	topologies := pem.NetworkPresets()
 	if o.network != "" {
 		topologies = []string{o.network}
@@ -760,13 +753,7 @@ func figNet(o options) error {
 		}
 	}
 	fmt.Println("(virtual columns are event-time over the emulated links; wall is real elapsed time — no sleeps)")
-	if o.csvPath != "" {
-		if err := writeCSV(o.csvPath, rows); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", o.csvPath)
-	}
-	return nil
+	return o.flushCSV(rows)
 }
 
 // middayInputs slices windows consecutive midday windows out of a full
@@ -867,13 +854,7 @@ func absf(v float64) float64 {
 // ledger chain must hash to the paillier chain's head).
 func figCrypto(o options) error {
 	homes, windows := o.scale(100, 24, 8, 4)
-	keyBits := 512
-	if o.full {
-		keyBits = 1024
-	}
-	if o.keyBits > 0 {
-		keyBits = o.keyBits
-	}
+	keyBits := o.keybits(512, 1024)
 	topologies := append([]string{""}, pem.NetworkPresets()...)
 	if o.network != "" {
 		topologies = []string{o.network}
@@ -934,13 +915,7 @@ func figCrypto(o options) error {
 		}
 	}
 	fmt.Println("(speedup is per-cell vs the paillier baseline; oracle/ledger certify identical market outcomes)")
-	if o.csvPath != "" {
-		if err := writeCSV(o.csvPath, rows); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", o.csvPath)
-	}
-	return nil
+	return o.flushCSV(rows)
 }
 
 // figLive runs the epoched live grid: -epochs trading days over one
@@ -952,13 +927,7 @@ func figCrypto(o options) error {
 // run ends with the cross-epoch settlement conservation checks.
 func figLive(o options) error {
 	homes, windows := o.scale(192, 48, 16, 2)
-	keyBits := 512
-	if o.full {
-		keyBits = 1024
-	}
-	if o.keyBits > 0 {
-		keyBits = o.keyBits
-	}
+	keyBits := o.keybits(512, 1024)
 	epochs := o.epochs
 	if epochs < 1 {
 		epochs = 1
@@ -1053,13 +1022,184 @@ func figLive(o options) error {
 	fmt.Printf("positions: %d active, %d settled leavers; conservation: energy %.3g kWh, payments %.3g cents\n",
 		active, frozen, res.EnergyImbalanceKWh, res.PaymentImbalanceCents)
 	fmt.Println("(re-key = per-epoch key provisioning for every coalition; steady-state excludes it)")
-	if o.csvPath != "" {
-		if err := writeCSV(o.csvPath, rows); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", o.csvPath)
+	return o.flushCSV(rows)
+}
+
+// parseTiers parses a -tiers fanout list ("8,4" = 8 coalitions per
+// district, 4 districts per region) into a tier schedule.
+func parseTiers(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
 	}
-	return nil
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -tiers fanout %q (want comma-separated integers ≥ 1)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// procRSS reads the process's current and high-water resident set sizes
+// from /proc/self/status, in MiB. Zero on platforms without procfs; the
+// high-water mark (VmHWM) is monotonic over the process lifetime, which is
+// what makes it a sound budget gate.
+func procRSS() (cur, peak float64) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		var kb float64
+		if n, _ := fmt.Sscanf(line, "VmRSS: %f kB", &kb); n == 1 {
+			cur = kb / 1024
+		}
+		if n, _ := fmt.Sscanf(line, "VmHWM: %f kB", &kb); n == 1 {
+			peak = kb / 1024
+		}
+	}
+	return cur, peak
+}
+
+// figScale measures the hierarchical grid's streaming, settlement and
+// accounting plane at fleet scale: one seeded trading day per row, swept
+// over fleet size (up to -homes agents) × tier-hierarchy depth (prefixes of
+// the -tiers schedule, flat first). Every coalition is two homes — below
+// the MinCoalition floor — so all of them fold to the plaintext grid-tariff
+// path: the crypto engines never run, and the row cost is exactly the
+// machinery the hierarchy adds (partitioning, lazy per-coalition day
+// synthesis, the streaming supervisor, tier netting, O(1) metric folds).
+// Day data is synthesized on demand and every coalition's payload is
+// released after the streaming sink sees it, so resident memory is bounded
+// by the coalitions in flight, not the fleet; the rss/hwm columns observe
+// that from /proc/self/status, and -rss-budget-mb turns the observation
+// into a hard failure. Throughput is reported as agents settled per second
+// (folded coalitions complete no protocol windows, so windows/sec would
+// read zero by construction).
+func figScale(o options) error {
+	maxAgents, windows := o.scale(1_000_000, 4, 100_000, 2)
+	fanout, err := parseTiers(o.tiers)
+	if err != nil {
+		return err
+	}
+	// Sweep two decades up to the target fleet, two homes per coalition.
+	var sweep []int
+	for _, a := range []int{maxAgents / 100, maxAgents / 10, maxAgents} {
+		if a < 8 {
+			a = 8
+		}
+		a -= a % 2
+		if len(sweep) == 0 || a > sweep[len(sweep)-1] {
+			sweep = append(sweep, a)
+		}
+	}
+	// All coalitions fold to plaintext, so concurrency only needs to cover
+	// scheduling overhead — an unbounded default would stack one goroutine
+	// per coalition, which at 10^5+ coalitions is itself a memory regression.
+	maxConc := 4 * runtime.GOMAXPROCS(0)
+
+	header(fmt.Sprintf("Hierarchical grid at scale — up to %d agents, %d windows, tiers %q, seed %d",
+		sweep[len(sweep)-1], windows, o.tiers, o.seed))
+	fmt.Printf("%10s %10s %10s %8s %14s %14s %12s %14s %10s %10s\n",
+		"agents", "coalitions", "tiers", "nodes", "total runtime", "agents/sec", "matched kWh", "netting gain", "rss MiB", "hwm MiB")
+	rows := [][]string{{
+		"agents", "coalitions", "tiers", "tier_nodes", "windows",
+		"total_ms", "agents_per_sec", "coalitions_per_sec",
+		"matched_kwh", "netting_gain_cents", "grid_import_kwh", "grid_export_kwh",
+		"rss_mb", "rss_hwm_mb",
+	}}
+	for _, agents := range sweep {
+		for depth := 0; depth <= len(fanout); depth++ {
+			schedule := fanout[:depth]
+			label := "flat"
+			if depth > 0 {
+				parts := make([]string, depth)
+				for i, f := range schedule {
+					parts[i] = strconv.Itoa(f)
+				}
+				label = strings.Join(parts, ",")
+			}
+			coalitions := agents / 2
+			tr, err := pem.GenerateFleet(pem.FleetConfig{
+				Coalitions:        coalitions,
+				HomesPerCoalition: 2,
+				Windows:           windows,
+				Seed:              o.seed,
+				StartHour:         11,
+				OnDemand:          true,
+			})
+			if err != nil {
+				return fmt.Errorf("agents=%d tiers=%s: %w", agents, label, err)
+			}
+			seed := o.seed
+			g, err := pem.NewGrid(pem.GridConfig{
+				Market:                  pem.Config{Seed: &seed},
+				Coalitions:              coalitions,
+				Partition:               pem.PartitionFixed,
+				MaxConcurrentCoalitions: maxConc,
+				Tiers:                   schedule,
+			}, tr)
+			if err != nil {
+				return fmt.Errorf("agents=%d tiers=%s: %w", agents, label, err)
+			}
+			var streamed, folded int
+			res, err := g.Stream(context.Background(), func(cr *pem.CoalitionRun) error {
+				streamed++
+				if cr.Folded {
+					folded++
+				}
+				return nil
+			})
+			if err != nil {
+				return fmt.Errorf("agents=%d tiers=%s: %w", agents, label, err)
+			}
+			if streamed != coalitions || folded != coalitions {
+				return fmt.Errorf("agents=%d tiers=%s: streamed %d coalitions (%d folded), want %d folded",
+					agents, label, streamed, folded, coalitions)
+			}
+			nodes := 0
+			if res.Tiers != nil {
+				nodes = len(res.Tiers.Tiers)
+			}
+			var matched, gain float64
+			if res.Tiers != nil {
+				matched, gain = res.Tiers.MatchedKWh, res.Tiers.NettingGainCents
+			} else if res.Settlement != nil {
+				matched, gain = res.Settlement.MatchedKWh, res.Settlement.NettingGainCents
+			}
+			secs := res.Duration.Seconds()
+			agentsPerSec, coalPerSec := 0.0, 0.0
+			if secs > 0 {
+				agentsPerSec = float64(agents) / secs
+				coalPerSec = float64(coalitions) / secs
+			}
+			// Scavenge before sampling so the current-RSS column reflects
+			// live memory, not lazily-returned heap; the high-water mark is
+			// untouched by this and stays the honest budget metric.
+			debug.FreeOSMemory()
+			cur, peak := procRSS()
+			fmt.Printf("%10d %10d %10s %8d %14s %14.0f %12.2f %13.0fc %10.0f %10.0f\n",
+				agents, coalitions, label, nodes, res.Duration.Round(time.Millisecond),
+				agentsPerSec, matched, gain, cur, peak)
+			rows = append(rows, []string{
+				fmt.Sprint(agents), fmt.Sprint(coalitions), label, fmt.Sprint(nodes), fmt.Sprint(windows),
+				fmt.Sprint(res.Duration.Milliseconds()),
+				fmt.Sprintf("%.1f", agentsPerSec), fmt.Sprintf("%.1f", coalPerSec),
+				fmt.Sprintf("%.4f", matched), fmt.Sprintf("%.2f", gain),
+				fmt.Sprintf("%.4f", res.Settlement.Fleet.ImportKWh),
+				fmt.Sprintf("%.4f", res.Settlement.Fleet.ExportKWh),
+				fmt.Sprintf("%.1f", cur), fmt.Sprintf("%.1f", peak),
+			})
+			if o.rssBudget > 0 && peak > float64(o.rssBudget) {
+				return fmt.Errorf("agents=%d tiers=%s: RSS high-water %.0f MiB exceeds -rss-budget-mb %d",
+					agents, label, peak, o.rssBudget)
+			}
+		}
+	}
+	fmt.Println("(every coalition folds to the plaintext tariff path: the figure isolates streaming + settlement cost from crypto)")
+	return o.flushCSV(rows)
 }
 
 // writeCSV dumps rows to path.

@@ -135,6 +135,64 @@ func TestRunTinyNet(t *testing.T) {
 	}
 }
 
+func TestRunTinyScale(t *testing.T) {
+	// The scale figure end to end at tiny scale: a 3-decade agent sweep ×
+	// tier depths (flat, one, two levels), all-folded plaintext coalitions,
+	// with CSV output and the RSS budget gate armed high enough to pass.
+	path := filepath.Join(t.TempDir(), "scale.csv")
+	err := run([]string{
+		"-fig", "scale", "-homes", "400", "-windows", "2",
+		"-tiers", "4,4", "-rss-budget-mb", "8192", "-csv", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header + (3 fleet sizes × 3 tier depths).
+	if len(rows) != 10 || rows[0][0] != "agents" || rows[1][2] != "flat" || rows[3][2] != "4,4" {
+		t.Fatalf("csv shape wrong: %v", rows)
+	}
+	col := func(name string) int {
+		for i, h := range rows[0] {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing from %v", name, rows[0])
+		return -1
+	}
+	for r := 1; r < len(rows); r++ {
+		aps, err := strconv.ParseFloat(rows[r][col("agents_per_sec")], 64)
+		if err != nil || aps <= 0 {
+			t.Errorf("row %d: agents_per_sec %q not positive", r, rows[r][col("agents_per_sec")])
+		}
+		hwm, err := strconv.ParseFloat(rows[r][col("rss_hwm_mb")], 64)
+		if err != nil || hwm <= 0 {
+			t.Errorf("row %d: rss_hwm_mb %q not positive (procfs expected in CI)", r, rows[r][col("rss_hwm_mb")])
+		}
+	}
+	// Tiered rows carry tier nodes; flat rows none.
+	if rows[1][col("tier_nodes")] != "0" || rows[3][col("tier_nodes")] == "0" {
+		t.Errorf("tier_nodes wrong: flat %q, tiered %q", rows[1][col("tier_nodes")], rows[3][col("tier_nodes")])
+	}
+
+	// A malformed tier schedule and a busted budget must both fail hard.
+	if err := run([]string{"-fig", "scale", "-homes", "16", "-windows", "1", "-tiers", "4,zero"}); err == nil {
+		t.Error("malformed -tiers accepted")
+	}
+	if err := run([]string{"-fig", "scale", "-homes", "16", "-windows", "1", "-tiers", "2", "-rss-budget-mb", "1"}); err == nil {
+		t.Error("1 MiB RSS budget not enforced")
+	}
+}
+
 func TestRunTinyLive(t *testing.T) {
 	// The live (epoched) figure end to end at tiny scale: ≥4 epochs of
 	// ≥20% churn with CSV output — one row per epoch.

@@ -33,6 +33,11 @@ type (
 	// GridSettlement is the fleet-wide residual settlement, including the
 	// cross-coalition netting opportunity.
 	GridSettlement = market.GridSettlement
+	// TierSettlement is one hierarchy tier's netting outcome (GridConfig.Tiers).
+	TierSettlement = market.TierSettlement
+	// TieredSettlement is the recursive settlement of a tiered grid: one
+	// netting outcome per tier plus the grid boundary.
+	TieredSettlement = market.TieredSettlement
 )
 
 // Dataset scenario presets (see GenerateFleet).
@@ -97,6 +102,14 @@ type GridConfig struct {
 	// CoalitionRun.Folded set. Set to 2 to run every coalition the
 	// partitioner can produce.
 	MinCoalition int
+	// Tiers makes settlement hierarchical — a grid of grids. Tiers[0]
+	// consecutive coalitions form a district, Tiers[1] districts a region,
+	// and so on; each tier nets its children's surplus against their
+	// deficit before the unmatched remainder moves toward the grid tariff.
+	// The result's Settlement becomes the hierarchy's grid boundary and
+	// Tiers carries the per-tier outcomes. Empty means flat settlement,
+	// bit-identical to a grid without hierarchy.
+	Tiers []int
 }
 
 // Grid is a partitioned fleet ready to trade. Unlike Market (whose keys
@@ -149,13 +162,39 @@ func (g *Grid) Partition() [][]string {
 // on the failed and skipped ones) alongside the earliest failure, so a
 // partial day is still observable.
 func (g *Grid) Run(ctx context.Context) (*GridResult, error) {
-	res, err := grid.Run(ctx, grid.Config{
-		Engine:        g.cfg.Market.coreConfig(),
-		MaxConcurrent: g.cfg.MaxConcurrentCoalitions,
-		MinCoalition:  g.cfg.MinCoalition,
-	}, g.trace, g.parts)
+	res, err := grid.Run(ctx, g.gridConfig(), g.trace, g.parts)
 	if err != nil {
 		return res, fmt.Errorf("pem: %w", err)
 	}
 	return res, nil
+}
+
+// Stream executes the same grid day as Run but delivers each coalition's
+// full outcome to sink in partition order as soon as it (and every
+// coalition before it) completes, then releases the coalition's heavy
+// payload. The returned GridResult is the fold — settlement, tiers,
+// traffic, throughput — with Coalitions nil, so memory stays bounded by
+// the coalitions in flight rather than the fleet size. The *CoalitionRun
+// is valid only during the sink call; a sink error cancels the in-flight
+// coalitions and aborts the run. With Market.Seed set, a Stream is
+// bit-identical to Run at any sink consumption speed.
+func (g *Grid) Stream(ctx context.Context, sink func(*CoalitionRun) error) (*GridResult, error) {
+	if sink == nil {
+		return nil, errors.New("pem: Stream needs a sink (use Run)")
+	}
+	res, err := grid.Stream(ctx, g.gridConfig(), g.trace, g.parts, sink)
+	if err != nil {
+		return res, fmt.Errorf("pem: %w", err)
+	}
+	return res, nil
+}
+
+// gridConfig maps the public grid configuration onto the supervisor's.
+func (g *Grid) gridConfig() grid.Config {
+	return grid.Config{
+		Engine:        g.cfg.Market.coreConfig(),
+		MaxConcurrent: g.cfg.MaxConcurrentCoalitions,
+		MinCoalition:  g.cfg.MinCoalition,
+		Tiers:         g.cfg.Tiers,
+	}
 }

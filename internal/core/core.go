@@ -103,6 +103,15 @@ type Config struct {
 	// concurrent coalitions sharing one bus can reuse window numbers
 	// without cross-talk and keep disjoint byte accounting.
 	Namespace string
+	// CompactWindowMetrics folds each window's per-window transport
+	// counters (bytes, messages, virtual latency, rounds) back into their
+	// scope aggregates as soon as the window's WindowResult has captured
+	// them, keeping the shared metrics sink O(windows in flight) instead of
+	// O(windows run). Solo engines leave it off so per-window queries
+	// (Metrics().WindowBytes et al.) keep working after a run; the grid
+	// supervisor turns it on for coalition engines, whose per-window figures
+	// live on in their WindowResults.
+	CompactWindowMetrics bool
 	// Network selects a network-emulation topology preset (see
 	// netem.Presets: "lan", "metro", "wan", "cellular", "lossy"). When set,
 	// every endpoint is wrapped in the deterministic emulation layer: all
@@ -512,6 +521,13 @@ func (e *Engine) runOne(ctx context.Context, window int, inputs []market.WindowI
 	startBytes := e.bus.Metrics().ScopedWindowBytes(e.cfg.Namespace, window)
 	startMsgs := e.bus.Metrics().ScopedWindowMessages(e.cfg.Namespace, window)
 	start := time.Now()
+	if e.cfg.CompactWindowMetrics {
+		// Fold the window's per-window transport counters into their scope
+		// aggregates once the WindowResult below has captured them (the
+		// deferred fold fires after the reads), failed windows included:
+		// the shared sink stays bounded by the windows in flight.
+		defer e.bus.Metrics().FoldWindow(e.cfg.Namespace, window)
+	}
 	if e.network != nil {
 		// Drop the window's virtual-clock state once it completes (stats are
 		// read before the deferred release fires), failed windows included:

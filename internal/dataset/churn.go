@@ -213,7 +213,7 @@ func Evolve(fleet FleetConfig, churn ChurnConfig) (*Evolution, error) {
 		}
 		roster = next
 
-		tr, err := epochTrace(churn.Seed, e, roster, base.Windows, base.StartHour)
+		tr, err := epochTrace(churn.Seed, e, roster, base.Windows, base.StartHour, fleet.OnDemand)
 		if err != nil {
 			return nil, err
 		}
@@ -243,8 +243,11 @@ func synthesizeJoin(seed int64, e, j int, s Scenario) (Home, error) {
 
 // epochTrace draws a fresh day of per-window data for every roster member
 // from its per-(epoch, home) stream, under the day shape of the home's own
-// scenario preset. Static parameters are carried over unchanged.
-func epochTrace(seed int64, e int, roster []Home, windows int, startHour float64) (*Trace, error) {
+// scenario preset. Static parameters are carried over unchanged. With
+// onDemand the days stay unmaterialized synthesizers (see Config.OnDemand)
+// — the streams were per-(epoch, home) already, so a lazy evolution is
+// bit-identical to an eager one.
+func epochTrace(seed int64, e int, roster []Home, windows int, startHour float64, onDemand bool) (*Trace, error) {
 	tr := &Trace{
 		Homes:     append([]Home(nil), roster...),
 		Windows:   windows,
@@ -253,6 +256,9 @@ func epochTrace(seed int64, e int, roster []Home, windows int, startHour float64
 		Load:      make([][]float64, len(roster)),
 		Battery:   make([][]float64, len(roster)),
 	}
+	if onDemand {
+		tr.synth = make([]synthFn, len(roster))
+	}
 	for i, h := range roster {
 		cfg, err := ScenarioConfig(h.Scenario, 1, windows, 0)
 		if err != nil {
@@ -260,8 +266,15 @@ func epochTrace(seed int64, e int, roster []Home, windows int, startHour float64
 		}
 		cfg.StartHour = startHour
 		cfg = cfg.withDefaults()
-		rng := mrand.New(mrand.NewSource(deriveChurnSeed(seed, fmt.Sprintf("day/%d/%s", e, h.ID))))
-		tr.Gen[i], tr.Load[i], tr.Battery[i] = cfg.synthesizeDay(h, rng)
+		h, daySeed := h, deriveChurnSeed(seed, fmt.Sprintf("day/%d/%s", e, h.ID))
+		synth := func() (gen, load, batt []float64) {
+			return cfg.synthesizeDay(h, mrand.New(mrand.NewSource(daySeed)))
+		}
+		if onDemand {
+			tr.synth[i] = synth
+		} else {
+			tr.Gen[i], tr.Load[i], tr.Battery[i] = synth()
+		}
 	}
 	return tr, nil
 }

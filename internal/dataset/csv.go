@@ -14,6 +14,7 @@ import (
 // This matches the flat layout of the UMass Smart* per-home exports, so
 // downstream users can swap in the real dataset.
 func (t *Trace) WriteCSV(w io.Writer) error {
+	t.Materialize()
 	cw := csv.NewWriter(w)
 	header := []string{"home_id", "solar_cap_kw", "base_load_kw", "k", "epsilon", "battery_cap_kwh", "window", "gen_kwh", "load_kwh", "battery_kwh"}
 	if err := cw.Write(header); err != nil {

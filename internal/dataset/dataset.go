@@ -23,6 +23,7 @@ package dataset
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	mrand "math/rand"
 
@@ -86,6 +87,17 @@ type Config struct {
 	// IDPrefix prefixes home IDs (default "home-"); fleet synthesis gives
 	// each coalition its own prefix so IDs stay unique fleet-wide.
 	IDPrefix string
+
+	// OnDemand defers day synthesis: Generate returns a lazy trace whose
+	// Gen/Load/Battery rows stay nil until a home is materialized (by
+	// WindowInputs, Materialize, or a Select-ed sub-trace's first use).
+	// Static parameters are always synthesized eagerly — partitioners need
+	// them — and each home's day comes from its own derived stream, so a
+	// lazy trace is bit-identical to its eager counterpart no matter which
+	// homes materialize in which order. This is what lets a streaming grid
+	// hold a million-home day as O(homes) statics plus O(in-flight
+	// coalitions) day data.
+	OnDemand bool
 
 	// Scenario labels the homes generated under this config (informational;
 	// see the scenario presets in fleet.go).
@@ -194,6 +206,10 @@ type Home struct {
 // generation and load are not).
 func (h Home) NetCapacityKW() float64 { return h.SolarCapKW - h.BaseLoadKW }
 
+// synthFn materializes one home's day of generation, load and battery data
+// from that home's private derived stream.
+type synthFn func() (gen, load, batt []float64)
+
 // Trace is a full day of per-window data for a fleet of homes.
 type Trace struct {
 	// Homes is the fleet roster with static parameters.
@@ -203,8 +219,46 @@ type Trace struct {
 	// StartHour is the local time of window 0.
 	StartHour float64
 	// Gen[h][w], Load[h][w] and Battery[h][w] are home h's generation,
-	// load and battery schedule in window w (kWh per window).
+	// load and battery schedule in window w (kWh per window). On a lazy
+	// trace (Config.OnDemand) a home's rows are nil until materialized.
 	Gen, Load, Battery [][]float64
+
+	// synth holds the pending per-home day synthesizers of a lazy trace
+	// (nil entries once materialized; nil slice for eager traces). Entries
+	// are self-contained closures over the home's statics and derived
+	// stream, so Select can hand them to sub-traces that materialize
+	// independently of the parent.
+	synth []synthFn
+}
+
+// Lazy reports whether the trace still has unmaterialized homes.
+func (t *Trace) Lazy() bool {
+	for _, s := range t.synth {
+		if s != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// materialize fills home h's day rows if they are still pending.
+// Materialization is not synchronized: lazy traces are single-owner by
+// design (each coalition materializes its own Select-ed sub-trace).
+func (t *Trace) materialize(h int) {
+	if t.synth == nil || t.synth[h] == nil {
+		return
+	}
+	t.Gen[h], t.Load[h], t.Battery[h] = t.synth[h]()
+	t.synth[h] = nil
+}
+
+// Materialize synthesizes every still-pending home's day data, turning a
+// lazy trace into its eager, bit-identical counterpart.
+func (t *Trace) Materialize() {
+	for h := range t.synth {
+		t.materialize(h)
+	}
+	t.synth = nil
 }
 
 // Generate synthesizes a trace.
@@ -224,6 +278,11 @@ func Generate(cfg Config) (*Trace, error) {
 		Battery:   make([][]float64, cfg.Homes),
 	}
 
+	// Statics come first, all from the root stream; each home's day is then
+	// drawn from its own derived stream (deriveHomeSeed). Splitting the
+	// streams this way is what makes lazy synthesis possible: any home's
+	// day can be materialized on demand without replaying anyone else's
+	// draws, and eager and lazy traces are bit-identical by construction.
 	for h := 0; h < cfg.Homes; h++ {
 		home := Home{
 			ID:         fmt.Sprintf("%s%03d", cfg.IDPrefix, h),
@@ -239,9 +298,31 @@ func Generate(cfg Config) (*Trace, error) {
 			home.BatteryCapKWh = uniform(rng, cfg.BatteryCapMinKWh, cfg.BatteryCapMaxKWh)
 		}
 		tr.Homes[h] = home
-		tr.Gen[h], tr.Load[h], tr.Battery[h] = cfg.synthesizeDay(home, rng)
+	}
+	if cfg.OnDemand {
+		tr.synth = make([]synthFn, cfg.Homes)
+	}
+	for h := 0; h < cfg.Homes; h++ {
+		home, daySeed := tr.Homes[h], deriveHomeSeed(cfg.Seed, h)
+		synth := func() (gen, load, batt []float64) {
+			return cfg.synthesizeDay(home, mrand.New(mrand.NewSource(daySeed)))
+		}
+		if cfg.OnDemand {
+			tr.synth[h] = synth
+		} else {
+			tr.Gen[h], tr.Load[h], tr.Battery[h] = synth()
+		}
 	}
 	return tr, nil
+}
+
+// deriveHomeSeed expands the trace seed into one independent day stream per
+// home, FNV-hashed like fleet.go's deriveSeed so the mapping is stable
+// across runs and platforms.
+func deriveHomeSeed(seed int64, home int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "pem/home/%d/%d", seed, home)
+	return int64(h.Sum64())
 }
 
 // synthesizeDay generates one home's day of per-window generation, load and
@@ -343,11 +424,15 @@ func (t *Trace) Agents() []market.Agent {
 	return out
 }
 
-// WindowInputs returns every home's private data for window w.
+// WindowInputs returns every home's private data for window w. On a lazy
+// trace it materializes every home's full day first (a day is one stream
+// per home, not per window) — callers wanting bounded memory should Select
+// the homes they need and call WindowInputs on the sub-trace.
 func (t *Trace) WindowInputs(w int) ([]market.WindowInput, error) {
 	if w < 0 || w >= t.Windows {
 		return nil, fmt.Errorf("dataset: window %d out of range [0,%d)", w, t.Windows)
 	}
+	t.Materialize()
 	out := make([]market.WindowInput, len(t.Homes))
 	for h := range t.Homes {
 		out[h] = market.WindowInput{
@@ -361,8 +446,10 @@ func (t *Trace) WindowInputs(w int) ([]market.WindowInput, error) {
 
 // Select returns a trace restricted to the listed home indices, in the
 // given order (sharing the underlying per-home slices; do not mutate). It
-// is how a coalition grid carves one fleet trace into per-coalition
-// traces.
+// is how a coalition grid carves one fleet trace into per-coalition traces.
+// On a lazy trace the sub-trace inherits the pending synthesizers and
+// materializes into itself: the parent stays lazy, so a streaming grid's
+// day data lives only as long as the coalition sub-traces that use it.
 func (t *Trace) Select(indices []int) (*Trace, error) {
 	if len(indices) == 0 {
 		return nil, errors.New("dataset: empty home selection")
@@ -374,6 +461,9 @@ func (t *Trace) Select(indices []int) (*Trace, error) {
 		Gen:       make([][]float64, len(indices)),
 		Load:      make([][]float64, len(indices)),
 		Battery:   make([][]float64, len(indices)),
+	}
+	if t.synth != nil {
+		sub.synth = make([]synthFn, len(indices))
 	}
 	seen := make(map[int]bool, len(indices))
 	for i, h := range indices {
@@ -388,22 +478,30 @@ func (t *Trace) Select(indices []int) (*Trace, error) {
 		sub.Gen[i] = t.Gen[h]
 		sub.Load[i] = t.Load[h]
 		sub.Battery[i] = t.Battery[h]
+		if t.synth != nil {
+			sub.synth[i] = t.synth[h]
+		}
 	}
 	return sub, nil
 }
 
 // Subset returns a trace restricted to the first n homes (sharing the
-// underlying slices; do not mutate).
+// underlying slices; do not mutate). Like Select, a lazy trace's subset
+// inherits the pending synthesizers.
 func (t *Trace) Subset(n int) (*Trace, error) {
 	if n <= 0 || n > len(t.Homes) {
 		return nil, fmt.Errorf("dataset: subset of %d from %d homes", n, len(t.Homes))
 	}
-	return &Trace{
+	sub := &Trace{
 		Homes:     t.Homes[:n],
 		Windows:   t.Windows,
 		StartHour: t.StartHour,
 		Gen:       t.Gen[:n],
 		Load:      t.Load[:n],
 		Battery:   t.Battery[:n],
-	}, nil
+	}
+	if t.synth != nil {
+		sub.synth = append([]synthFn(nil), t.synth[:n]...)
+	}
+	return sub, nil
 }

@@ -305,10 +305,10 @@ func TestScenarioMarketRegimes(t *testing.T) {
 		}
 		return
 	}
-	sunnyExtreme, _ := count(ScenarioSunny)
+	sunnyExtreme, sunnyGeneral := count(ScenarioSunny)
 	overcastExtreme, overcastGeneral := count(ScenarioOvercast)
-	if sunnyExtreme < 100 {
-		t.Errorf("sunny scenario produced only %d extreme windows", sunnyExtreme)
+	if sunnyExtreme < 50 || sunnyExtreme < sunnyGeneral {
+		t.Errorf("sunny scenario not supply-dominated: %d extreme vs %d general", sunnyExtreme, sunnyGeneral)
 	}
 	if overcastExtreme > overcastGeneral {
 		t.Errorf("overcast scenario extreme-dominated: %d vs %d", overcastExtreme, overcastGeneral)

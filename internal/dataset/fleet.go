@@ -40,6 +40,10 @@ type FleetConfig struct {
 	// Scenarios assigns a preset per block, cycling when shorter than
 	// Coalitions. Defaults to DefaultFleetScenarios().
 	Scenarios []Scenario
+	// OnDemand defers every home's day synthesis (see Config.OnDemand):
+	// the fleet trace carries only statics until homes are materialized,
+	// which is how the scale benchmarks hold 100k+-home fleets.
+	OnDemand bool
 }
 
 // GenerateFleet synthesizes a fleet of Coalitions × HomesPerCoalition homes
@@ -67,6 +71,7 @@ func GenerateFleet(cfg FleetConfig) (*Trace, error) {
 		}
 		blockCfg.IDPrefix = fmt.Sprintf("c%02d-home-", b)
 		blockCfg.StartHour = cfg.StartHour
+		blockCfg.OnDemand = cfg.OnDemand
 		block, err := Generate(blockCfg)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: block %d (%s): %w", b, blockCfg.Scenario, err)
@@ -82,6 +87,7 @@ func GenerateFleet(cfg FleetConfig) (*Trace, error) {
 		fleet.Gen = append(fleet.Gen, block.Gen...)
 		fleet.Load = append(fleet.Load, block.Load...)
 		fleet.Battery = append(fleet.Battery, block.Battery...)
+		fleet.synth = append(fleet.synth, block.synth...)
 	}
 	return fleet, nil
 }

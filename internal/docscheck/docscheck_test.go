@@ -28,6 +28,8 @@ var packages = []string{
 	"internal/netem",
 	"internal/paillier",
 	"internal/core",
+	"internal/transport",
+	"internal/ledger",
 }
 
 // repoRoot locates the repository root from this test file's path.

@@ -46,6 +46,13 @@ type LiveConfig struct {
 	// PartitionSeed feeds the random strategy; a per-epoch seed is derived
 	// from it so consecutive epochs shuffle differently.
 	PartitionSeed int64
+	// RetainResults keeps every epoch's heavy per-coalition payload —
+	// window results, flows, ledgers, rosters — alive in the returned
+	// LiveResult. By default the live grid releases each epoch's payload
+	// once its flows are folded into the position book, so a long
+	// simulation's memory is bounded by one epoch, not the run length;
+	// set RetainResults to audit per-window outcomes after the run.
+	RetainResults bool
 }
 
 // Validate checks the live configuration, including that the partition
@@ -81,8 +88,13 @@ type EpochResult struct {
 	// named "e<epoch>-c<index>" (also their transport scope).
 	Coalitions []CoalitionRun
 	// Settlement clears the epoch's coalition residuals — completed and
-	// folded alike — against the grid tariff.
+	// folded alike — against the grid tariff. With Grid.Tiers it is the
+	// epoch hierarchy's grid boundary and equals Tiers.Grid.
 	Settlement *market.GridSettlement
+	// Tiers is the epoch's recursive settlement under Grid.Tiers: the
+	// epoch's coalitions roll up through districts and regions before the
+	// unmatched remainder touches the tariff. Nil on flat runs.
+	Tiers *market.TieredSettlement
 	// Windows counts completed trading windows across the epoch.
 	Windows int
 	// Bytes is the epoch's protocol traffic on the shared bus.
@@ -109,7 +121,11 @@ type EpochResult struct {
 // LiveResult is the outcome of a full live-grid simulation.
 type LiveResult struct {
 	// Epochs holds one entry per executed epoch, in order. On failure the
-	// last entry is the partial epoch that failed.
+	// last entry is the partial epoch that failed. Each entry's heavy
+	// per-coalition payload (window results, flows, ledgers, rosters) is
+	// released once its flows reach the position book unless
+	// LiveConfig.RetainResults is set; streaming runs (StreamLive) leave
+	// Epochs nil entirely and deliver each epoch to the sink instead.
 	Epochs []EpochResult
 	// Positions are the per-agent cumulative positions across all epochs,
 	// sorted by agent ID; departed and failed agents are frozen at their
@@ -151,6 +167,31 @@ type LiveResult struct {
 // deterministic: bit-identical per (epoch, coalition) at any coalition
 // concurrency.
 func RunLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution) (*LiveResult, error) {
+	return streamLive(ctx, cfg, evo, nil)
+}
+
+// StreamLive executes the same simulation as RunLive but delivers each
+// epoch's full outcome to sink as soon as its flows are settled into the
+// position book, then releases the epoch's heavy payload (unless
+// cfg.RetainResults is set) and moves on. The returned LiveResult carries
+// the cross-epoch fold — positions, conservation, traffic, throughput —
+// with Epochs nil (except on failure, where the partial failing epoch is
+// kept for diagnosis), so an unbounded simulation runs in the memory of
+// one epoch. The *EpochResult passed to sink is valid only during the call
+// (copy what must outlive it); a sink error aborts the simulation. Sink is
+// not called for an epoch that failed. A seeded StreamLive is bit-identical
+// to the batch RunLive — same per-epoch settlements, positions and ledger
+// chain heads — at any sink consumption speed.
+func StreamLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution, sink func(*EpochResult) error) (*LiveResult, error) {
+	if sink == nil {
+		return nil, errors.New("grid: StreamLive needs a sink (use RunLive)")
+	}
+	return streamLive(ctx, cfg, evo, sink)
+}
+
+// streamLive is the shared body of RunLive (nil sink: epochs retained on
+// the result) and StreamLive (epochs delivered and released).
+func streamLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution, sink func(*EpochResult) error) (*LiveResult, error) {
 	if evo == nil || len(evo.Epochs) == 0 {
 		return nil, errors.New("grid: live run needs a non-empty evolution")
 	}
@@ -179,7 +220,6 @@ func RunLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution) (*Live
 			break
 		}
 		er, err := runEpoch(ctx, cfg, bus, workers, &ef)
-		res.Epochs = append(res.Epochs, *er)
 		res.Windows += er.Windows
 		res.TotalBytes += er.Bytes
 		res.TotalMessages += er.Msgs
@@ -188,6 +228,21 @@ func RunLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution) (*Live
 		res.Trading += er.Trading
 		if err == nil {
 			err = applyEpochFlows(book, er)
+		}
+		if err == nil && sink != nil {
+			err = sink(er)
+		}
+		// The epoch's flows are in the book and the sink has seen the full
+		// payload; from here only the fold is needed, so drop the heavy
+		// per-coalition state unless the caller wants a post-run audit.
+		// (Failed epochs keep theirs — they carry the diagnosis.)
+		if err == nil && !cfg.RetainResults {
+			for i := range er.Coalitions {
+				er.Coalitions[i].releasePayload()
+			}
+		}
+		if sink == nil || err != nil {
+			res.Epochs = append(res.Epochs, *er)
 		}
 		if err != nil {
 			firstErr = fmt.Errorf("grid: epoch %d: %w", ef.Epoch, err)
@@ -315,29 +370,24 @@ func runEpoch(ctx context.Context, cfg LiveConfig, bus *transport.Bus, workers *
 	err = tradeEpoch(ctx, gcfg, bus, er, rekeyed)
 	er.Trading = time.Since(tradeStart)
 
-	var residuals []market.CoalitionResidual
 	for i := range er.Coalitions {
 		cr := &er.Coalitions[i]
-		if cr.settleable() {
-			residuals = append(residuals, cr.Residual)
-		}
 		if cr.Err != nil {
 			continue
 		}
-		er.Windows += len(cr.Results)
+		er.Windows += cr.Windows
 		er.Bytes += cr.Bytes
 		er.Msgs += cr.Msgs
 		if cr.VirtualLatency > er.VirtualLatency {
 			er.VirtualLatency = cr.VirtualLatency
 		}
 	}
-	if len(residuals) > 0 {
-		settlement, serr := market.SettleResiduals(residuals, gcfg.params())
-		if serr != nil && err == nil {
-			err = fmt.Errorf("settlement: %w", serr)
-		}
-		er.Settlement = settlement
+	settlement, tiers, serr := settleGrid(gcfg, er.Coalitions)
+	if serr != nil && err == nil {
+		err = fmt.Errorf("settlement: %w", serr)
 	}
+	er.Settlement = settlement
+	er.Tiers = tiers
 	return er, err
 }
 
@@ -386,6 +436,11 @@ func rekeyEpoch(ctx context.Context, cfg Config, bus *transport.Bus, workers *pa
 			}
 			ecfg := cfg.Engine
 			ecfg.Namespace = cr.Name
+			// Per-window metrics fold into the scope aggregate as windows
+			// complete, so a long-running live grid's shared sink stays
+			// bounded by the windows in flight (see coalitionAccounting,
+			// which retires the scope itself).
+			ecfg.CompactWindowMetrics = true
 			eng, err := core.NewEngineWith(ecfg, agents, core.Resources{Bus: bus, Workers: workers})
 			if err != nil {
 				cr.Err = fmt.Errorf("rekey: %w", err)
@@ -412,7 +467,10 @@ func rekeyEpoch(ctx context.Context, cfg Config, bus *transport.Bus, workers *pa
 func tradeEpoch(ctx context.Context, cfg Config, bus *transport.Bus, er *EpochResult, rekeyed []rekeyedCoalition) error {
 	return launchCoalitions(ctx, cfg.MaxConcurrent, er.Coalitions,
 		func(i int) bool { return rekeyed[i].engine != nil },
-		func(i int, cr *CoalitionRun) { tradeCoalition(ctx, cfg, bus, cr, rekeyed[i]) })
+		func(runCtx context.Context, i int, cr *CoalitionRun) {
+			tradeCoalition(runCtx, cfg, bus, cr, rekeyed[i])
+		},
+		nil)
 }
 
 // tradeCoalition runs one keyed coalition's trading day through its

@@ -31,6 +31,9 @@ func testLiveConfig(seed int64, conc int) LiveConfig {
 		Grid:       Config{Engine: testEngineConfig(seed), MaxConcurrent: conc},
 		Coalitions: 3,
 		Partition:  StrategyBalanced,
+		// Most tests here audit per-window payloads after the run; the
+		// default-release path is covered by TestLivePayloadRelease.
+		RetainResults: true,
 	}
 }
 
@@ -301,7 +304,7 @@ func TestLiveCoalitionCapRespectsFloor(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
 	defer cancel()
-	cfg := LiveConfig{Grid: Config{Engine: testEngineConfig(19)}, Coalitions: 3}
+	cfg := LiveConfig{Grid: Config{Engine: testEngineConfig(19)}, Coalitions: 3, RetainResults: true}
 	res, err := RunLive(ctx, cfg, evo)
 	if err != nil {
 		t.Fatal(err)

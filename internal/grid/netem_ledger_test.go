@@ -87,8 +87,9 @@ func TestEpochCoalitionLedgersVerify(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
 	defer cancel()
 	res, err := RunLive(ctx, LiveConfig{
-		Grid:       Config{Engine: testEngineConfig(5), MinCoalition: 2},
-		Coalitions: 2,
+		Grid:          Config{Engine: testEngineConfig(5), MinCoalition: 2},
+		Coalitions:    2,
+		RetainResults: true,
 	}, evo)
 	if err != nil {
 		t.Fatal(err)

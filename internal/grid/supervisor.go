@@ -37,6 +37,15 @@ type Config struct {
 	// every coalition the partitioner can produce (an engine needs a
 	// counterparty, so 2 is the hard floor).
 	MinCoalition int
+	// Tiers makes the settlement hierarchy recursive: Tiers[0] coalitions
+	// roll up into a district, Tiers[1] districts into a region, and so on
+	// (consecutive partition indices group together; the last level's nodes
+	// attach to the grid boundary). Each tier nets its children's surplus
+	// against their deficit before the remainder moves up, so only the
+	// unmatched fleet position touches the grid tariff — see
+	// market.SettleTiers. Empty means flat: every coalition settles
+	// directly at the tariff, bit-identical to the pre-hierarchy grid.
+	Tiers []int
 }
 
 // DefaultMinCoalition is the default roster floor for running a private
@@ -65,6 +74,11 @@ func (c Config) validate() error {
 	if c.MinCoalition < 0 || c.MinCoalition == 1 {
 		return fmt.Errorf("grid: MinCoalition %d out of range (0 = default %d, minimum 2)", c.MinCoalition, DefaultMinCoalition)
 	}
+	for i, f := range c.Tiers {
+		if f < 1 {
+			return fmt.Errorf("grid: Tiers[%d] fanout %d must be ≥ 1", i, f)
+		}
+	}
 	return nil
 }
 
@@ -87,8 +101,12 @@ type CoalitionRun struct {
 	// IDs are the members' agent IDs.
 	IDs []string
 	// Results holds the per-window protocol outcomes (nil on failure and
-	// for folded coalitions).
+	// for folded coalitions; released after delivery on streaming runs —
+	// see Stream).
 	Results []*core.WindowResult
+	// Windows counts the coalition's completed trading windows. Unlike
+	// len(Results) it survives the streaming payload release.
+	Windows int
 	// Residual is the coalition's day-aggregate unmatched energy, computed
 	// from the plaintext oracle clearing exactly like the trading-
 	// performance figures (the private protocols reveal neither side). For
@@ -118,6 +136,11 @@ type CoalitionRun struct {
 	// before residuals are cleared, so a coalition-day's transactions can
 	// be audited per (epoch, coalition) after the fact.
 	Ledger *ledger.Ledger
+	// ChainHead is the ledger's final chain hash, kept after the streaming
+	// payload release so completed streams remain audit-comparable against
+	// batch runs without retaining the ledger itself (empty for folded and
+	// failed coalitions).
+	ChainHead string
 	// Rekey is the time spent provisioning the coalition's engine — fresh
 	// Paillier key material for every member plus transport registration.
 	// The live grid pays it once per (epoch, coalition); reporting it
@@ -156,13 +179,33 @@ func (cr *CoalitionRun) settleable() bool {
 	return cr.Err == nil || cr.Folded
 }
 
+// releasePayload drops the coalition's heavy per-window payload — results,
+// flows, ledger, roster — keeping only the O(1) aggregates a settlement
+// fold needs. Streaming runs call it after the sink has seen the run, which
+// is what bounds a 10^5-coalition day to the coalitions in flight.
+func (cr *CoalitionRun) releasePayload() {
+	cr.Results = nil
+	cr.Flows = nil
+	cr.Ledger = nil
+	cr.Members = nil
+	cr.IDs = nil
+}
+
 // Result is the outcome of a full grid run.
 type Result struct {
 	// Coalitions holds one entry per partition element, in partition order.
+	// Streaming runs leave it nil: per-coalition outcomes are delivered to
+	// the sink instead, and only the fold below is retained.
 	Coalitions []CoalitionRun
 	// Settlement clears the completed and folded coalitions' residuals
-	// against the grid tariff (nil when no coalition produced one).
+	// against the grid tariff (nil when no coalition produced one). With
+	// Config.Tiers it is the hierarchy's grid boundary — what survives
+	// every tier of netting — and equals Tiers.Grid.
 	Settlement *market.GridSettlement
+	// Tiers is the recursive settlement under Config.Tiers: one netting
+	// outcome per district/region tier plus the grid boundary. Nil on flat
+	// runs.
+	Tiers *market.TieredSettlement
 	// Windows counts completed trading windows across all coalitions.
 	Windows int
 	// Duration is the whole run's wall-clock time.
@@ -180,14 +223,37 @@ type Result struct {
 }
 
 // Run executes one trading day for every coalition of the partition over
-// shared infrastructure. Failure semantics mirror the window scheduler's:
-// a failing coalition cancels only itself; the supervisor then stops
-// launching new coalitions, drains the ones in flight, and reports the
-// earliest failed coalition's error. Completed coalitions keep their
-// results, and the returned Result is valid (with per-coalition Err set)
-// even when err is non-nil. Coalitions below Config.MinCoalition are not
-// failures: they are folded into grid settlement (see CoalitionRun.Folded).
+// shared infrastructure, retaining every coalition's full outcome. Failure
+// semantics mirror the window scheduler's: a failing coalition cancels only
+// itself; the supervisor then stops launching new coalitions, drains the
+// ones in flight, and reports the earliest failed coalition's error.
+// Completed coalitions keep their results, and the returned Result is valid
+// (with per-coalition Err set) even when err is non-nil. Coalitions below
+// Config.MinCoalition are not failures: they are folded into grid
+// settlement (see CoalitionRun.Folded).
 func Run(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int) (*Result, error) {
+	return execute(ctx, cfg, tr, parts, nil, true)
+}
+
+// Stream executes the same grid day as Run but delivers each coalition's
+// full outcome to sink in partition order as soon as that coalition — and
+// every coalition before it — has completed, then releases its heavy
+// payload. The returned Result carries the fold (settlement, tiers,
+// traffic, throughput) with Coalitions nil, so memory stays bounded by the
+// coalitions in flight rather than the partition size. The *CoalitionRun
+// passed to sink is valid only during the call (copy what must outlive
+// it); a sink error cancels the in-flight coalitions and aborts the run.
+// Sink is never called for coalitions at or after the first failure. A
+// seeded Stream is bit-identical to the batch Run — same per-coalition
+// outcomes, ledger chain heads and settlement — at any sink consumption
+// speed.
+func Stream(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int, sink func(*CoalitionRun) error) (*Result, error) {
+	return execute(ctx, cfg, tr, parts, sink, false)
+}
+
+// execute is the shared body of Run and Stream: launch the partition over
+// shared infrastructure, deliver in partition order, fold the settlement.
+func execute(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int, sink func(*CoalitionRun) error, retain bool) (*Result, error) {
 	if len(parts) == 0 {
 		return nil, errors.New("grid: empty partition")
 	}
@@ -204,107 +270,190 @@ func Run(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int) (*Re
 	defer workers.Release()
 
 	start := time.Now()
-	res := &Result{Coalitions: make([]CoalitionRun, len(parts))}
+	runs := make([]CoalitionRun, len(parts))
 	for i, members := range parts {
-		res.Coalitions[i] = CoalitionRun{
+		runs[i] = CoalitionRun{
 			Name:    fmt.Sprintf("c%02d", i),
 			Members: append([]int(nil), members...),
 		}
 	}
 
-	err := launchCoalitions(ctx, cfg.MaxConcurrent, res.Coalitions,
+	err := launchCoalitions(ctx, cfg.MaxConcurrent, runs,
 		func(int) bool { return true },
-		func(_ int, cr *CoalitionRun) { runCoalition(ctx, cfg, bus, workers, tr, cr) })
+		func(runCtx context.Context, _ int, cr *CoalitionRun) {
+			runCoalition(runCtx, cfg, bus, workers, tr, cr)
+		},
+		func(cr *CoalitionRun) error {
+			if sink != nil {
+				if err := sink(cr); err != nil {
+					return err
+				}
+			}
+			if !retain {
+				cr.releasePayload()
+			}
+			return nil
+		})
 	if err != nil {
 		err = fmt.Errorf("grid: %w", err)
 	}
 
+	res := &Result{}
+	if retain {
+		res.Coalitions = runs
+	}
 	res.Duration = time.Since(start)
-	var residuals []market.CoalitionResidual
-	for i := range res.Coalitions {
-		cr := &res.Coalitions[i]
-		if cr.settleable() {
-			residuals = append(residuals, cr.Residual)
-		}
+	for i := range runs {
+		cr := &runs[i]
 		if cr.Err != nil {
 			continue
 		}
-		res.Windows += len(cr.Results)
+		res.Windows += cr.Windows
 		res.TotalBytes += cr.Bytes
 		res.TotalMessages += cr.Msgs
 		if cr.VirtualLatency > res.VirtualLatency {
 			res.VirtualLatency = cr.VirtualLatency
 		}
 	}
-	if len(residuals) > 0 {
-		settlement, serr := market.SettleResiduals(residuals, cfg.params())
-		if serr != nil {
-			return res, fmt.Errorf("grid: settlement: %w", serr)
-		}
-		res.Settlement = settlement
+	settlement, tiers, serr := settleGrid(cfg, runs)
+	if serr != nil {
+		return res, fmt.Errorf("grid: settlement: %w", serr)
 	}
+	res.Settlement = settlement
+	res.Tiers = tiers
 	if res.Duration > 0 {
 		res.WindowsPerSec = float64(res.Windows) / res.Duration.Seconds()
 	}
 	return res, err
 }
 
+// settleGrid clears the settleable coalitions' residuals: flat against the
+// tariff when cfg.Tiers is empty (the pre-hierarchy path, bit-identical),
+// recursively through the tier tree otherwise. Returns (nil, nil, nil)
+// when no coalition produced a residual.
+func settleGrid(cfg Config, runs []CoalitionRun) (*market.GridSettlement, *market.TieredSettlement, error) {
+	var entries []tierEntry
+	for i := range runs {
+		if cr := &runs[i]; cr.settleable() {
+			entries = append(entries, tierEntry{index: i, residual: cr.Residual})
+		}
+	}
+	if len(entries) == 0 {
+		return nil, nil, nil
+	}
+	params := cfg.params()
+	if len(cfg.Tiers) == 0 {
+		residuals := make([]market.CoalitionResidual, len(entries))
+		for i, e := range entries {
+			residuals[i] = e.residual
+		}
+		settlement, err := market.SettleResiduals(residuals, params)
+		return settlement, nil, err
+	}
+	tiers, err := market.SettleTiers(tierTree(cfg.Tiers, entries), params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tiers.Grid, tiers, nil
+}
+
 // launchCoalitions runs runOne for every eligible coalition in runs
 // concurrently under the maxConc budget (0 = all), filling each entry in
-// place. A failing coalition cancels only itself; after a genuine failure
-// the launcher stops admitting coalitions and marks the remaining eligible
-// ones skipped. The returned error is the earliest genuine failure
-// ("coalition <name>: …"), or ctx.Err() on a clean cancel. Run drives it
-// with provision-and-trade bodies, the epoch layer with trade-only bodies
-// over pre-keyed engines.
-func launchCoalitions(ctx context.Context, maxConc int, runs []CoalitionRun, eligible func(int) bool, runOne func(int, *CoalitionRun)) error {
-	if maxConc <= 0 || maxConc > len(runs) {
-		maxConc = len(runs)
+// place, and invokes deliver for each entry in runs order as soon as that
+// entry — and every entry before it — has settled (completed, folded, or
+// skipped). A failing coalition cancels only itself; after a genuine
+// failure the launcher stops admitting coalitions, marks the remaining
+// eligible ones skipped, and deliver is not invoked at or after the failed
+// index. A deliver error cancels the in-flight coalitions. The returned
+// error is the earliest genuine failure ("coalition <name>: …"), a deliver
+// error, or ctx.Err() on a clean cancel. Run drives it with
+// provision-and-trade bodies, the epoch layer with trade-only bodies over
+// pre-keyed engines.
+func launchCoalitions(ctx context.Context, maxConc int, runs []CoalitionRun, eligible func(int) bool, runOne func(context.Context, int, *CoalitionRun), deliver func(*CoalitionRun) error) error {
+	n := len(runs)
+	if n == 0 {
+		return nil
 	}
+	if maxConc <= 0 || maxConc > n {
+		maxConc = n
+	}
+
+	runCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
 
 	var (
 		mu     sync.Mutex
 		failed bool
 		wg     sync.WaitGroup
+		done   = make([]chan struct{}, n)
 	)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
 	sem := make(chan struct{}, maxConc)
-	for i := range runs {
-		if !eligible(i) {
+
+	// Launcher: admit eligible coalitions in order as slots free up,
+	// stopping at the first observed failure (ineligible entries — folded
+	// or failed during re-key — settle immediately).
+	go func() {
+		for i := range runs {
+			if !eligible(i) {
+				close(done[i])
+				continue
+			}
+			sem <- struct{}{}
+			mu.Lock()
+			stop := failed
+			mu.Unlock()
+			if stop || runCtx.Err() != nil {
+				<-sem
+				for j := i; j < n; j++ {
+					if eligible(j) {
+						runs[j].Err = fmt.Errorf("%w after earlier failure", ErrCoalitionSkipped)
+					}
+					close(done[j])
+				}
+				return
+			}
+			wg.Add(1)
+			go func(i int, cr *CoalitionRun) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				defer close(done[i])
+				runOne(runCtx, i, cr)
+				if cr.failure() {
+					mu.Lock()
+					failed = true
+					mu.Unlock()
+				}
+			}(i, &runs[i])
+		}
+	}()
+
+	// Waiter: deliver settled entries in runs order; remember the earliest
+	// genuine failure and stop delivering from it on.
+	var firstErr error
+	for i := 0; i < n; i++ {
+		<-done[i]
+		cr := &runs[i]
+		if firstErr != nil {
 			continue
 		}
-		sem <- struct{}{}
-		mu.Lock()
-		stop := failed
-		mu.Unlock()
-		if stop || ctx.Err() != nil {
-			<-sem
-			for j := i; j < len(runs); j++ {
-				if eligible(j) {
-					runs[j].Err = fmt.Errorf("%w after earlier failure", ErrCoalitionSkipped)
-				}
+		switch {
+		case cr.failure():
+			firstErr = fmt.Errorf("coalition %s: %w", cr.Name, cr.Err)
+		case deliver != nil:
+			if err := deliver(cr); err != nil {
+				firstErr = err
+				cancelAll() // caller aborted: tear down the in-flight coalitions
 			}
-			break
 		}
-		wg.Add(1)
-		go func(i int, cr *CoalitionRun) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			runOne(i, cr)
-			if cr.failure() {
-				mu.Lock()
-				failed = true
-				mu.Unlock()
-			}
-		}(i, &runs[i])
 	}
 	wg.Wait()
-
-	for i := range runs {
-		if cr := &runs[i]; cr.failure() {
-			return fmt.Errorf("coalition %s: %w", cr.Name, cr.Err)
-		}
+	if firstErr == nil {
+		firstErr = ctx.Err()
 	}
-	return ctx.Err()
+	return firstErr
 }
 
 // runCoalition executes one coalition's day: provision an engine over the
@@ -343,6 +492,10 @@ func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *
 
 	ecfg := cfg.Engine
 	ecfg.Namespace = cr.Name
+	// The coalition's per-window figures live on in its WindowResults;
+	// folding them out of the shared sink as windows complete keeps the
+	// bus's metrics bounded by the windows in flight across the whole grid.
+	ecfg.CompactWindowMetrics = true
 	eng, err := core.NewEngineWith(ecfg, agents, core.Resources{Bus: bus, Workers: workers})
 	if err != nil {
 		cr.Err = fmt.Errorf("provision: %w", err)
@@ -364,14 +517,17 @@ func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *
 }
 
 // coalitionAccounting folds a completed coalition-day's transport and
-// virtual-clock figures out of the shared metrics sink and commits the
-// day's trades to the coalition's tamper-evident ledger — the settlement-
-// path bookkeeping shared by one-shot and live grids.
+// virtual-clock figures out of the shared metrics sink — then retires the
+// coalition's scope, so a long-running grid does not accumulate one
+// aggregate per (epoch, coalition) — and commits the day's trades to the
+// coalition's tamper-evident ledger: the settlement-path bookkeeping shared
+// by one-shot and live grids.
 func coalitionAccounting(bus *transport.Bus, cr *CoalitionRun) error {
 	m := bus.Metrics()
 	cr.Bytes = m.ScopeBytes(cr.Name)
 	cr.Msgs = m.ScopeMessages(cr.Name)
 	cr.VirtualLatency = m.ScopeVirtualLatency(cr.Name)
+	m.DropScope(cr.Name)
 	led := ledger.New()
 	for _, res := range cr.Results {
 		if res == nil {
@@ -385,6 +541,8 @@ func coalitionAccounting(bus *transport.Bus, cr *CoalitionRun) error {
 		}
 	}
 	cr.Ledger = led
+	cr.ChainHead = ledger.HashString(led.Head().Hash)
+	cr.Windows = len(cr.Results)
 	return nil
 }
 

@@ -25,8 +25,10 @@ import (
 
 // TradeRecord is one pairwise transaction committed to the chain.
 type TradeRecord struct {
+	// Seller is the delivering agent's ID.
 	Seller string
-	Buyer  string
+	// Buyer is the receiving agent's ID.
+	Buyer string
 	// EnergyKWh routed from Seller to Buyer.
 	EnergyKWh float64
 	// PaymentCents paid by Buyer to Seller.

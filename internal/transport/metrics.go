@@ -5,11 +5,24 @@ import (
 	"time"
 )
 
-// windowKey attributes traffic to one window of one scope (coalition). The
-// empty scope is the solo-engine namespace of PR 1's WindowTag scheme.
-type windowKey struct {
-	scope  string
-	window int
+// windowCounters holds one (scope, window)'s traffic and virtual-clock
+// figures while the window is live. The per-scope aggregates (scopeAgg) are
+// maintained incrementally as these grow, so a completed window's counters
+// can be folded away (FoldWindow) without losing any scope- or total-level
+// figure — that is what keeps the sink O(1) memory per window at scale.
+type windowCounters struct {
+	bytes, msgs int64
+	lat         time.Duration
+	rounds      int
+}
+
+// scopeAgg accumulates one scope's running totals across its windows. It is
+// grown incrementally on every send and virtual-clock observation, never
+// recomputed from the per-window counters, so it survives FoldWindow and
+// DropScope-style compaction of the per-window state.
+type scopeAgg struct {
+	bytes, msgs int64
+	lat         time.Duration
 }
 
 // Metrics accumulates per-party traffic counters. It feeds the Table I
@@ -28,23 +41,23 @@ type windowKey struct {
 // message dependencies). Both are running maxima recorded by the emulation
 // as deliveries advance the per-party virtual clocks; they stay zero on
 // unemulated runs.
+//
+// Memory model: per-window counters are kept in per-scope maps so a caller
+// that is done with a window (FoldWindow) or a whole coalition's scope
+// (DropScope) can compact them away in O(1) while every aggregate —
+// per-scope, per-phase, per-party, total — remains exact. The grid
+// supervisor uses this to keep the shared bus's sink bounded by the windows
+// in flight rather than the windows ever run; solo engines never compact,
+// so the PR 1 per-window queries keep working unchanged.
 type Metrics struct {
 	mu      sync.Mutex
 	bytes   map[string]int64
 	msgs    map[string]int64
-	windowB map[windowKey]int64
-	windowM map[windowKey]int64
-	scopeB  map[string]int64
-	scopeM  map[string]int64
+	windows map[string]map[int]*windowCounters
+	scopes  map[string]*scopeAgg
 	phaseM  map[string]int64
-	winLat  map[windowKey]time.Duration
-	winRnd  map[windowKey]int
-	// scopeLat mirrors scopeB for virtual time: the running sum of each
-	// scope's per-window latency maxima, maintained incrementally as
-	// RecordVirtual grows them.
-	scopeLat map[string]time.Duration
-	totalB   int64
-	totalM   int64
+	totalB  int64
+	totalM  int64
 }
 
 // NewMetrics creates an empty sink.
@@ -58,14 +71,36 @@ func NewMetrics() *Metrics {
 func (m *Metrics) init() {
 	m.bytes = make(map[string]int64)
 	m.msgs = make(map[string]int64)
-	m.windowB = make(map[windowKey]int64)
-	m.windowM = make(map[windowKey]int64)
-	m.scopeB = make(map[string]int64)
-	m.scopeM = make(map[string]int64)
+	m.windows = make(map[string]map[int]*windowCounters)
+	m.scopes = make(map[string]*scopeAgg)
 	m.phaseM = make(map[string]int64)
-	m.winLat = make(map[windowKey]time.Duration)
-	m.winRnd = make(map[windowKey]int)
-	m.scopeLat = make(map[string]time.Duration)
+}
+
+// window returns (creating if needed) the live counters of one window of
+// one scope. Callers hold m.mu.
+func (m *Metrics) window(scope string, window int) *windowCounters {
+	ws := m.windows[scope]
+	if ws == nil {
+		ws = make(map[int]*windowCounters)
+		m.windows[scope] = ws
+	}
+	wc := ws[window]
+	if wc == nil {
+		wc = &windowCounters{}
+		ws[window] = wc
+	}
+	return wc
+}
+
+// scope returns (creating if needed) one scope's running aggregates.
+// Callers hold m.mu.
+func (m *Metrics) scope(scope string) *scopeAgg {
+	sa := m.scopes[scope]
+	if sa == nil {
+		sa = &scopeAgg{}
+		m.scopes[scope] = sa
+	}
+	return sa
 }
 
 func (m *Metrics) recordSend(party, tag string, n int) {
@@ -74,11 +109,12 @@ func (m *Metrics) recordSend(party, tag string, n int) {
 	m.bytes[party] += int64(n)
 	m.msgs[party]++
 	if scope, w, rest, ok := ParseScopedWindowTag(tag); ok {
-		k := windowKey{scope: scope, window: w}
-		m.windowB[k] += int64(n)
-		m.windowM[k]++
-		m.scopeB[scope] += int64(n)
-		m.scopeM[scope]++
+		wc := m.window(scope, w)
+		wc.bytes += int64(n)
+		wc.msgs++
+		sa := m.scope(scope)
+		sa.bytes += int64(n)
+		sa.msgs++
 		m.phaseM[phaseOf(rest)]++
 	}
 	m.totalB += int64(n)
@@ -101,18 +137,49 @@ func phaseOf(rest string) string {
 // critical-path maxima: the network-emulation layer calls it as message
 // deliveries advance the per-party clocks, so the stored values converge to
 // the window's longest dependency chain (rounds) and its virtual end time
-// (latency).
+// (latency). The scope's latency sum is maintained incrementally alongside,
+// so it survives later compaction of the window's counters.
 func (m *Metrics) RecordVirtual(scope string, window int, latency time.Duration, rounds int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	k := windowKey{scope: scope, window: window}
-	if latency > m.winLat[k] {
-		m.scopeLat[scope] += latency - m.winLat[k]
-		m.winLat[k] = latency
+	wc := m.window(scope, window)
+	if latency > wc.lat {
+		m.scope(scope).lat += latency - wc.lat
+		wc.lat = latency
 	}
-	if rounds > m.winRnd[k] {
-		m.winRnd[k] = rounds
+	if rounds > wc.rounds {
+		wc.rounds = rounds
 	}
+}
+
+// FoldWindow compacts one completed window's per-window counters. Every
+// aggregate the window contributed to — scope bytes/messages/latency, phase
+// and party counters, totals — is maintained incrementally and unaffected;
+// only the per-(scope, window) queries for that window return zero
+// afterwards. The engine calls it (under Config.CompactWindowMetrics) once
+// a window's figures have been copied into its WindowResult, which bounds
+// the sink's memory by the windows in flight instead of the windows run.
+func (m *Metrics) FoldWindow(scope string, window int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ws := m.windows[scope]; ws != nil {
+		delete(ws, window)
+		if len(ws) == 0 {
+			delete(m.windows, scope)
+		}
+	}
+}
+
+// DropScope discards one scope's aggregates and any remaining per-window
+// counters. The grid supervisor calls it after folding a coalition's
+// figures into its CoalitionRun, so a long live-grid run does not retain
+// one map entry per (epoch, coalition) scope forever. Party, phase and
+// total counters are unaffected.
+func (m *Metrics) DropScope(scope string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.scopes, scope)
+	delete(m.windows, scope)
 }
 
 // WindowBytes returns the bytes sent so far within one window's tag
@@ -124,11 +191,15 @@ func (m *Metrics) WindowBytes(window int) int64 {
 }
 
 // ScopedWindowBytes returns the bytes sent within one window of one scope.
-// The empty scope reads the unscoped (solo-engine) namespace.
+// The empty scope reads the unscoped (solo-engine) namespace. Zero once the
+// window has been folded (FoldWindow).
 func (m *Metrics) ScopedWindowBytes(scope string, window int) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.windowB[windowKey{scope: scope, window: window}]
+	if wc := m.windows[scope][window]; wc != nil {
+		return wc.bytes
+	}
+	return 0
 }
 
 // ScopedWindowMessages returns the messages sent within one window of one
@@ -136,7 +207,10 @@ func (m *Metrics) ScopedWindowBytes(scope string, window int) int64 {
 func (m *Metrics) ScopedWindowMessages(scope string, window int) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.windowM[windowKey{scope: scope, window: window}]
+	if wc := m.windows[scope][window]; wc != nil {
+		return wc.msgs
+	}
+	return 0
 }
 
 // WindowVirtualLatency returns one window's critical-path virtual latency
@@ -145,7 +219,10 @@ func (m *Metrics) ScopedWindowMessages(scope string, window int) int64 {
 func (m *Metrics) WindowVirtualLatency(scope string, window int) time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.winLat[windowKey{scope: scope, window: window}]
+	if wc := m.windows[scope][window]; wc != nil {
+		return wc.lat
+	}
+	return 0
 }
 
 // WindowRounds returns one window's protocol round count: the longest
@@ -154,7 +231,10 @@ func (m *Metrics) WindowVirtualLatency(scope string, window int) time.Duration {
 func (m *Metrics) WindowRounds(scope string, window int) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.winRnd[windowKey{scope: scope, window: window}]
+	if wc := m.windows[scope][window]; wc != nil {
+		return wc.rounds
+	}
+	return 0
 }
 
 // ScopeBytes returns the total window-tagged bytes sent under one scope —
@@ -163,7 +243,10 @@ func (m *Metrics) WindowRounds(scope string, window int) int {
 func (m *Metrics) ScopeBytes(scope string) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.scopeB[scope]
+	if sa := m.scopes[scope]; sa != nil {
+		return sa.bytes
+	}
+	return 0
 }
 
 // ScopeMessages returns the total window-tagged messages sent under one
@@ -171,7 +254,10 @@ func (m *Metrics) ScopeBytes(scope string) int64 {
 func (m *Metrics) ScopeMessages(scope string) int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.scopeM[scope]
+	if sa := m.scopes[scope]; sa != nil {
+		return sa.msgs
+	}
+	return 0
 }
 
 // ScopeVirtualLatency sums one scope's per-window critical-path latencies —
@@ -180,7 +266,10 @@ func (m *Metrics) ScopeMessages(scope string) int64 {
 func (m *Metrics) ScopeVirtualLatency(scope string) time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.scopeLat[scope]
+	if sa := m.scopes[scope]; sa != nil {
+		return sa.lat
+	}
+	return 0
 }
 
 // TotalBytes returns the total bytes sent across all parties.
@@ -235,6 +324,19 @@ func (m *Metrics) PhaseMessages() map[string]int64 {
 		out[k] = v
 	}
 	return out
+}
+
+// LiveWindows reports how many (scope, window) counter entries the sink
+// currently retains — the figure FoldWindow bounds. Tests use it to assert
+// the compaction contract; it is not a traffic metric.
+func (m *Metrics) LiveWindows() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, ws := range m.windows {
+		n += len(ws)
+	}
+	return n
 }
 
 // Reset zeroes all counters.

@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"testing"
+	"time"
 )
 
 func TestScopedWindowTagRoundTrip(t *testing.T) {
@@ -116,5 +117,111 @@ func TestScopedMailboxIsolation(t *testing.T) {
 	}
 	if got[0] != 0 {
 		t.Fatalf("scope c0 received scope c1's message: %v", got)
+	}
+}
+
+// TestFoldWindowKeepsAggregates is the compaction contract: folding a
+// completed window zeroes only that window's per-window queries while every
+// aggregate it fed — scope, party, phase, total — stays exact.
+func TestFoldWindowKeepsAggregates(t *testing.T) {
+	bus := NewBus(nil)
+	a := bus.MustRegister("a")
+	bus.MustRegister("b")
+	ctx := context.Background()
+
+	send := func(tag string, n int) {
+		t.Helper()
+		if err := a.Send(ctx, "b", tag, make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(ScopedWindowTag("c0", 1, "role"), 100)
+	send(ScopedWindowTag("c0", 2, "pme/x"), 200)
+	send(ScopedWindowTag("c1", 1, "role"), 50)
+
+	m := bus.Metrics()
+	m.RecordVirtual("c0", 1, 5*time.Second, 3)
+	m.RecordVirtual("c0", 2, 7*time.Second, 4)
+
+	scopeB := m.ScopeBytes("c0")
+	scopeM := m.ScopeMessages("c0")
+	scopeLat := m.ScopeVirtualLatency("c0")
+	totalB, totalM := m.TotalBytes(), m.TotalMessages()
+	phases := m.PhaseMessages()
+	if m.LiveWindows() != 3 {
+		t.Fatalf("LiveWindows = %d, want 3", m.LiveWindows())
+	}
+
+	m.FoldWindow("c0", 1)
+
+	if got := m.ScopedWindowBytes("c0", 1); got != 0 {
+		t.Errorf("folded window still reports %d bytes", got)
+	}
+	if got := m.WindowVirtualLatency("c0", 1); got != 0 {
+		t.Errorf("folded window still reports latency %v", got)
+	}
+	if got := m.WindowRounds("c0", 1); got != 0 {
+		t.Errorf("folded window still reports %d rounds", got)
+	}
+	if m.LiveWindows() != 2 {
+		t.Errorf("LiveWindows = %d after fold, want 2", m.LiveWindows())
+	}
+	// Unfolded state is untouched.
+	if got := m.ScopedWindowBytes("c0", 2); got == 0 {
+		t.Error("unfolded window lost its bytes")
+	}
+	if got := m.ScopedWindowBytes("c1", 1); got == 0 {
+		t.Error("other scope lost its bytes")
+	}
+	// Aggregates survive exactly.
+	if m.ScopeBytes("c0") != scopeB || m.ScopeMessages("c0") != scopeM {
+		t.Errorf("scope aggregates changed: %d/%d vs %d/%d",
+			m.ScopeBytes("c0"), m.ScopeMessages("c0"), scopeB, scopeM)
+	}
+	if m.ScopeVirtualLatency("c0") != scopeLat {
+		t.Errorf("scope latency changed: %v vs %v", m.ScopeVirtualLatency("c0"), scopeLat)
+	}
+	if m.TotalBytes() != totalB || m.TotalMessages() != totalM {
+		t.Error("totals changed across fold")
+	}
+	for k, v := range phases {
+		if m.PhaseMessages()[k] != v {
+			t.Errorf("phase %q changed across fold", k)
+		}
+	}
+	// Folding is idempotent and tolerant of unknown keys.
+	m.FoldWindow("c0", 1)
+	m.FoldWindow("nope", 9)
+}
+
+// TestDropScope checks that retiring a coalition's scope discards its
+// aggregates and remaining windows without touching other scopes or totals.
+func TestDropScope(t *testing.T) {
+	bus := NewBus(nil)
+	a := bus.MustRegister("a")
+	bus.MustRegister("b")
+	ctx := context.Background()
+
+	if err := a.Send(ctx, "b", ScopedWindowTag("c0", 1, "role"), make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, "b", ScopedWindowTag("c1", 1, "role"), make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	m := bus.Metrics()
+	totalB := m.TotalBytes()
+
+	m.DropScope("c0")
+	if m.ScopeBytes("c0") != 0 || m.ScopedWindowBytes("c0", 1) != 0 {
+		t.Error("dropped scope still has counters")
+	}
+	if m.ScopeBytes("c1") == 0 {
+		t.Error("other scope lost its counters")
+	}
+	if m.TotalBytes() != totalB {
+		t.Error("totals changed across DropScope")
+	}
+	if m.LiveWindows() != 1 {
+		t.Errorf("LiveWindows = %d after drop, want 1", m.LiveWindows())
 	}
 }

@@ -115,9 +115,14 @@ func ValidScope(s string) bool {
 
 // Message is a single protocol datagram.
 type Message struct {
-	From    string
-	To      string
-	Tag     string
+	// From is the sender's registered party name.
+	From string
+	// To is the recipient's registered party name.
+	To string
+	// Tag routes the message to the recipient's matching Recv and carries
+	// the scope namespace (see WindowTag).
+	Tag string
+	// Payload is the opaque protocol body.
 	Payload []byte
 }
 

@@ -2,6 +2,7 @@ package pem
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/pem-go/pem/internal/dataset"
@@ -79,6 +80,18 @@ type LiveGridConfig struct {
 	// market (default DefaultMinCoalition). Coalitions churned below it
 	// are folded into grid settlement instead of failing the epoch.
 	MinCoalition int
+	// Tiers makes each epoch's settlement hierarchical, exactly as
+	// GridConfig.Tiers: consecutive coalitions roll up through districts
+	// and regions, netting surplus against deficit at every level before
+	// the remainder touches the tariff. Empty means flat settlement.
+	Tiers []int
+	// RetainCoalitionResults keeps every epoch's heavy per-coalition
+	// payload — window results, flows, ledgers, rosters — on the returned
+	// LiveGridResult. By default the live grid releases each epoch's
+	// payload once its flows are settled into the position book, so a long
+	// simulation runs in the memory of one epoch; set this to audit
+	// per-window outcomes after the run.
+	RetainCoalitionResults bool
 	// Epochs is the number of trading days to simulate (required, ≥ 1).
 	Epochs int
 	// Churn configures the churn model applied at each epoch boundary.
@@ -113,10 +126,12 @@ func NewLiveGrid(cfg LiveGridConfig, fleet FleetConfig) (*LiveGrid, error) {
 			Engine:        cfg.Market.coreConfig(),
 			MaxConcurrent: cfg.MaxConcurrentCoalitions,
 			MinCoalition:  cfg.MinCoalition,
+			Tiers:         cfg.Tiers,
 		},
 		Coalitions:    cfg.Coalitions,
 		Partition:     grid.Strategy(cfg.Partition),
 		PartitionSeed: seed,
+		RetainResults: cfg.RetainCoalitionResults,
 	}
 	if err := lcfg.Validate(); err != nil {
 		return nil, fmt.Errorf("pem: %w", err)
@@ -156,6 +171,26 @@ func (lg *LiveGrid) Rosters() [][]string {
 // completed epochs plus the partial one.
 func (lg *LiveGrid) Run(ctx context.Context) (*LiveGridResult, error) {
 	res, err := grid.RunLive(ctx, lg.cfg, lg.evo)
+	if err != nil {
+		return res, fmt.Errorf("pem: %w", err)
+	}
+	return res, nil
+}
+
+// Stream executes the same simulation as Run but delivers each epoch's
+// full outcome to sink as soon as its flows are settled into the position
+// book, then releases the epoch's heavy payload (unless
+// RetainCoalitionResults is set). The returned LiveGridResult carries the
+// cross-epoch fold — positions, conservation, traffic, throughput — with
+// Epochs nil, so an unbounded simulation runs in the memory of one epoch.
+// The *EpochResult is valid only during the sink call; a sink error aborts
+// the simulation. With Market.Seed set, a Stream is bit-identical to Run
+// at any sink consumption speed.
+func (lg *LiveGrid) Stream(ctx context.Context, sink func(*EpochResult) error) (*LiveGridResult, error) {
+	if sink == nil {
+		return nil, errors.New("pem: Stream needs a sink (use Run)")
+	}
+	res, err := grid.StreamLive(ctx, lg.cfg, lg.evo, sink)
 	if err != nil {
 		return res, fmt.Errorf("pem: %w", err)
 	}

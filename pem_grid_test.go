@@ -104,9 +104,16 @@ func TestGridPublicAPI(t *testing.T) {
 	if res.Settlement == nil || len(res.Settlement.PerCoalition) != 2 {
 		t.Fatalf("settlement missing: %+v", res.Settlement)
 	}
+	// Fleet is the running sum of per-coalition settlements (each settled
+	// alone at its feeder), so cross-check against the exact same sums —
+	// not ImportKWh·price, which differs by float non-distributivity.
 	fleet := res.Settlement.Fleet
-	if fleet.ImportCost != fleet.ImportKWh*params.GridRetailPrice ||
-		fleet.ExportRevenue != fleet.ExportKWh*params.GridSellPrice {
+	var impCost, expRev float64
+	for _, cs := range res.Settlement.PerCoalition {
+		impCost += cs.ImportCost
+		expRev += cs.ExportRevenue
+	}
+	if fleet.ImportCost != impCost || fleet.ExportRevenue != expRev {
 		t.Errorf("fleet settlement inconsistent: %+v", fleet)
 	}
 }
@@ -180,5 +187,74 @@ func TestNewGridValidation(t *testing.T) {
 	}
 	if _, err := pem.NewGrid(pem.GridConfig{Coalitions: 1}, nil); err == nil {
 		t.Error("nil trace accepted")
+	}
+}
+
+// TestGridStreamAndTiersPublicAPI: the streaming variant delivers every
+// coalition in partition order and folds to the same settlement as Run, and
+// a tiered grid settles hierarchically with the 1-tier singleton identity
+// holding at the public surface.
+func TestGridStreamAndTiersPublicAPI(t *testing.T) {
+	tr := testFleetTrace(t, 2, 3, 2)
+	mk := func(tiers []int) *pem.Grid {
+		t.Helper()
+		g, err := pem.NewGrid(pem.GridConfig{
+			Market:     pem.Config{KeyBits: 256, Seed: seedPtr(12)},
+			Coalitions: 2,
+			Partition:  pem.PartitionFixed,
+			Tiers:      tiers,
+		}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	batch, err := mk(nil).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var names []string
+	streamed, err := mk(nil).Stream(ctx, func(cr *pem.CoalitionRun) error {
+		if cr.Results == nil {
+			t.Errorf("%s delivered without results", cr.Name)
+		}
+		names = append(names, cr.Name)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "c00" || names[1] != "c01" {
+		t.Fatalf("stream order %v, want [c00 c01]", names)
+	}
+	if streamed.Coalitions != nil {
+		t.Error("streamed result retained coalitions")
+	}
+	if streamed.Settlement.Fleet != batch.Settlement.Fleet || streamed.Windows != batch.Windows {
+		t.Error("streamed fold diverged from batch Run")
+	}
+	if _, err := mk(nil).Stream(ctx, nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+
+	// Singleton districts are no-op wrappers: the tiered fleet settlement is
+	// bit-identical to the flat one, and the per-tier outcomes are exposed.
+	tiered, err := mk([]int{1}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiered.Tiers == nil || len(tiered.Tiers.Tiers) != 2 {
+		t.Fatalf("tiered run missing tier outcomes: %+v", tiered.Tiers)
+	}
+	if tiered.Tiers.MatchedKWh != 0 {
+		t.Errorf("singleton districts netted %v kWh", tiered.Tiers.MatchedKWh)
+	}
+	if tiered.Settlement.Fleet != batch.Settlement.Fleet {
+		t.Errorf("1-tier settlement diverged from flat: %+v vs %+v",
+			tiered.Settlement.Fleet, batch.Settlement.Fleet)
 	}
 }

@@ -146,3 +146,78 @@ func TestLiveGridRejectsBadConfig(t *testing.T) {
 		t.Error("accepted negative coalition budget")
 	}
 }
+
+// TestLiveGridStreamPublicAPI: the live streaming variant delivers each
+// epoch in order with its settlement, retains no epochs on the result, and
+// folds to the same positions as the batch Run; heavy per-coalition
+// payloads are released by default and kept under RetainCoalitionResults.
+func TestLiveGridStreamPublicAPI(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+
+	batch, err := testLiveGrid(t, 0).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default: heavy payloads are released once each epoch settles.
+	for _, er := range batch.Epochs {
+		for _, cr := range er.Coalitions {
+			if cr.Results != nil || cr.Ledger != nil || cr.Flows != nil {
+				t.Fatalf("%s retained heavy payload by default", cr.Name)
+			}
+		}
+	}
+
+	var epochs []int
+	streamed, err := testLiveGrid(t, 0).Stream(ctx, func(er *pem.EpochResult) error {
+		if er.Settlement == nil {
+			t.Errorf("epoch %d streamed without settlement", er.Epoch)
+		}
+		epochs = append(epochs, er.Epoch)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 3 || epochs[0] != 0 || epochs[2] != 2 {
+		t.Fatalf("stream epochs %v, want [0 1 2]", epochs)
+	}
+	if streamed.Epochs != nil {
+		t.Error("streamed live result retained epochs")
+	}
+	if len(streamed.Positions) != len(batch.Positions) {
+		t.Fatal("position counts diverged")
+	}
+	for i := range streamed.Positions {
+		if streamed.Positions[i] != batch.Positions[i] {
+			t.Errorf("position %s diverged", streamed.Positions[i].ID)
+		}
+	}
+	if _, err := testLiveGrid(t, 0).Stream(ctx, nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+
+	// Opt-in retention keeps the audit payloads.
+	lg, err := pem.NewLiveGrid(pem.LiveGridConfig{
+		Market:                 pem.Config{KeyBits: 256, Seed: seedPtr(41)},
+		Coalitions:             2,
+		Partition:              pem.PartitionBalanced,
+		Epochs:                 2,
+		RetainCoalitionResults: true,
+		Churn:                  pem.ChurnConfig{JoinRate: 0.2},
+	}, pem.FleetConfig{Coalitions: 2, HomesPerCoalition: 3, Windows: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retained, err := lg.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, er := range retained.Epochs {
+		for _, cr := range er.Coalitions {
+			if cr.Err == nil && (cr.Results == nil || cr.Ledger == nil) {
+				t.Errorf("%s lost its payload despite RetainCoalitionResults", cr.Name)
+			}
+		}
+	}
+}
