@@ -1,0 +1,149 @@
+// Command benchgate compares a `go test -bench -benchmem` run against a
+// committed baseline and fails on allocation regressions.
+//
+// Usage:
+//
+//	go test -run=NONE -bench 'BenchmarkCryptoBackends|BenchmarkParallelWindow' \
+//	  -benchmem -benchtime 3x . > current-bench.txt
+//	benchgate -baseline docs/bench-baseline.txt -current current-bench.txt
+//
+// The gate reads allocs/op — the one benchmark column that is essentially
+// deterministic for this codebase (the protocols are seeded and the
+// allocation count of a window does not depend on machine speed), which is
+// what makes it CI-gateable where ns/op is not. A benchmark regresses when
+// its allocs/op exceeds the baseline by more than -max-regress (default
+// 10%) plus an absolute slack of -slack allocs (default 16, absorbing
+// scheduling jitter in tiny benchmarks). Baseline entries missing from the
+// current run fail the gate — a renamed benchmark must refresh the
+// baseline (see docs/BENCHMARKS.md) — while extra current benchmarks are
+// reported but pass, so new benchmarks can land before being baselined.
+//
+// ns/op and B/op are parsed and printed for context but never gated.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	nsPerOp     float64
+	bytesPerOp  float64
+	allocsPerOp float64
+}
+
+// gomaxprocsSuffix strips the trailing -N CPU suffix `go test` appends to
+// benchmark names, so baselines recorded on one core count compare against
+// runs on another.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts Benchmark lines from `go test -bench -benchmem`
+// output. Lines that don't parse (headers, PASS, ok) are skipped.
+func parseBench(path string) (map[string]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string]benchResult)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		var r benchResult
+		for i := 2; i+1 <= len(fields)-1; i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "B/op":
+				r.bytesPerOp = v
+			case "allocs/op":
+				r.allocsPerOp = v
+			}
+		}
+		out[name] = r
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "docs/bench-baseline.txt", "committed baseline benchmark output")
+	currentPath := flag.String("current", "", "benchmark output of the run under test")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional allocs/op growth over baseline")
+	slack := flag.Float64("slack", 16, "absolute allocs/op slack added to the budget")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := parseBench(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline:", err)
+		os.Exit(2)
+	}
+	current, err := parseBench(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: current:", err)
+		os.Exit(2)
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: baseline has no benchmark lines")
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-60s %14s %14s %10s\n", "benchmark", "base allocs/op", "cur allocs/op", "delta")
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("%-60s %14.0f %14s %10s\n", name, base.allocsPerOp, "MISSING", "FAIL")
+			failed = true
+			continue
+		}
+		budget := base.allocsPerOp*(1+*maxRegress) + *slack
+		delta := 0.0
+		if base.allocsPerOp > 0 {
+			delta = 100 * (cur.allocsPerOp - base.allocsPerOp) / base.allocsPerOp
+		}
+		verdict := "ok"
+		if cur.allocsPerOp > budget {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+9.1f%% %s\n", name, base.allocsPerOp, cur.allocsPerOp, delta, verdict)
+	}
+	for name, cur := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Printf("%-60s %14s %14.0f %10s\n", name, "(new)", cur.allocsPerOp, "ok")
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchgate: allocs/op regression over %.0f%%+%.0f budget — if intentional, refresh docs/bench-baseline.txt (see docs/BENCHMARKS.md)\n",
+			100**maxRegress, *slack)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all benchmarks within allocation budget")
+}

@@ -15,6 +15,7 @@
 //	pem-bench -fig net          # communication cost on emulated networks
 //	pem-bench -fig crypto       # paillier vs hybrid backend ablation
 //	pem-bench -fig scale        # hierarchical grid at 100k+ agents, RSS-gated
+//	pem-bench -fig alloc        # allocation profile: allocs, bytes, GC share
 //	pem-bench -table 1          # average bandwidth by key size
 //	pem-bench -all              # everything
 //
@@ -61,6 +62,19 @@
 // -rss-budget-mb N the run fails hard when the process high-water mark
 // exceeds N MiB — CI uses this as the memory-regression gate.
 //
+// The alloc figure measures the memory discipline of the private window
+// path: heap allocations and bytes per trading window, plus the share of
+// wall-clock the run spent in GC stop-the-world pauses, swept over fleet
+// size × crypto backend. Key generation and engine provisioning happen
+// before the measured interval, so the figure isolates the steady-state
+// window loop the pooled-arena work targets; -csv writes the sweep.
+//
+// Every figure accepts -cpuprofile, -memprofile and -trace, which write a
+// CPU profile, a heap profile (taken after a final GC) and a runtime
+// execution trace covering the selected figures — the inputs to
+// `go tool pprof` / `go tool trace` when hunting a regression the alloc
+// figure or the benchgate CI job flags.
+//
 // The net figure prices the protocols on deterministic emulated networks:
 // the same trading-day slice swept over the topology presets (lan, metro,
 // wan, cellular, lossy — restrict with -net) × aggregation topology (ring
@@ -77,6 +91,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"time"
@@ -112,6 +128,9 @@ type options struct {
 	network   string
 	tiers     string
 	rssBudget int
+	cpuProf   string
+	memProf   string
+	tracePath string
 }
 
 func run(args []string) error {
@@ -137,6 +156,9 @@ func run(args []string) error {
 	fs.StringVar(&opt.network, "net", "", "restrict the net figure to one topology preset (lan, metro, wan, cellular, lossy); empty sweeps all")
 	fs.StringVar(&opt.tiers, "tiers", "8,4", "tier fanouts for the scale figure (coalitions per district, districts per region, …)")
 	fs.IntVar(&opt.rssBudget, "rss-budget-mb", 0, "fail the scale figure when the process RSS high-water mark exceeds this many MiB (0 = no gate)")
+	fs.StringVar(&opt.cpuProf, "cpuprofile", "", "write a CPU profile covering the selected figures to this file")
+	fs.StringVar(&opt.memProf, "memprofile", "", "write a heap profile (after a final GC) to this file")
+	fs.StringVar(&opt.tracePath, "trace", "", "write a runtime execution trace covering the selected figures to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -161,12 +183,13 @@ func run(args []string) error {
 		"net":    figNet,
 		"crypto": figCrypto,
 		"scale":  figScale,
+		"alloc":  figAlloc,
 		"t1":     table1,
 	}
 	var targets []string
 	switch {
 	case opt.all:
-		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "live", "net", "crypto", "scale", "t1"}
+		targets = []string{"4", "5a", "5b", "5c", "6a", "6b", "6c", "6d", "pipe", "par", "grid", "live", "net", "crypto", "scale", "alloc", "t1"}
 	case opt.table == 1:
 		targets = []string{"t1"}
 	case opt.table != 0:
@@ -178,12 +201,68 @@ func run(args []string) error {
 		}
 		targets = []string{key}
 	}
+	stopProfiles, err := startProfiles(opt)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	for _, tgt := range targets {
 		if err := runners[tgt](opt); err != nil {
 			return fmt.Errorf("%s: %w", tgt, err)
 		}
 	}
 	return nil
+}
+
+// startProfiles arms the -cpuprofile/-trace collectors and returns the stop
+// hook that finalizes them and writes the -memprofile heap snapshot. The
+// hook runs after the selected figures, so one invocation profiles exactly
+// the work it printed.
+func startProfiles(o options) (stop func(), err error) {
+	var cpuFile, traceFile *os.File
+	if o.cpuProf != "" {
+		if cpuFile, err = os.Create(o.cpuProf); err != nil {
+			return nil, err
+		}
+		if err = pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	if o.tracePath != "" {
+		if traceFile, err = os.Create(o.tracePath); err != nil {
+			return nil, err
+		}
+		if err = trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Printf("wrote %s\n", o.cpuProf)
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+			fmt.Printf("wrote %s\n", o.tracePath)
+		}
+		if o.memProf != "" {
+			f, err := os.Create(o.memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pem-bench: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the snapshot shows live memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pem-bench: memprofile:", err)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", o.memProf)
+		}
+	}, nil
 }
 
 // scale resolves homes/windows/keybits for the crypto experiments.
@@ -1199,6 +1278,96 @@ func figScale(o options) error {
 		}
 	}
 	fmt.Println("(every coalition folds to the plaintext tariff path: the figure isolates streaming + settlement cost from crypto)")
+	return o.flushCSV(rows)
+}
+
+// figAlloc measures the memory discipline of the private window path: heap
+// allocations and bytes per trading window plus the GC stop-the-world pause
+// share of wall-clock, swept over fleet size × crypto backend. Key
+// generation and engine provisioning happen before the measured interval
+// and a forced GC settles the heap at its start, so the columns isolate the
+// steady-state window loop — the figure the pooled scratch arenas, frame
+// pools and reusable window state are accountable to. Counters come from
+// runtime.ReadMemStats deltas across the RunWindows call (Mallocs,
+// TotalAlloc, PauseTotalNs); they cover the whole process, which is the
+// point — a pool that merely moves allocations to a background goroutine
+// does not improve this figure.
+func figAlloc(o options) error {
+	agentCounts := []int{8, 16, 32}
+	if o.full {
+		agentCounts = []int{50, 100, 200}
+	}
+	if o.homes > 0 {
+		agentCounts = []int{o.homes}
+	}
+	windows := 8
+	if o.full {
+		windows = 24
+	}
+	if o.windows > 0 {
+		windows = o.windows
+	}
+	keyBits := o.keybits(512, 1024)
+
+	header(fmt.Sprintf("Allocation profile — %d windows, %d-bit keys", windows, keyBits))
+	fmt.Printf("%10s %8s %16s %16s %14s %12s\n",
+		"backend", "agents", "allocs/window", "bytes/window", "GC pause", "wall")
+	rows := [][]string{{
+		"backend", "agents", "windows", "keybits",
+		"allocs_per_window", "bytes_per_window", "gc_pause_frac", "wall_ms",
+	}}
+	for _, backend := range []string{pem.BackendPaillier, pem.BackendHybrid} {
+		for _, agents := range agentCounts {
+			tr, err := o.trace(agents, 720)
+			if err != nil {
+				return err
+			}
+			inputs, err := middayInputs(tr, windows)
+			if err != nil {
+				return err
+			}
+			seed := o.seed
+			m, err := pem.NewMarket(pem.Config{
+				KeyBits:            keyBits,
+				Seed:               &seed,
+				MaxInflightWindows: o.inflight,
+				CryptoWorkers:      o.cryptoWrk,
+				Aggregation:        o.agg,
+				CryptoBackend:      backend,
+			}, tr.Agents())
+			if err != nil {
+				return fmt.Errorf("backend=%s agents=%d: %w", backend, agents, err)
+			}
+			runtime.GC() // settle provisioning garbage outside the interval
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			if _, err := m.RunWindows(context.Background(), inputs); err != nil {
+				m.Close()
+				return fmt.Errorf("backend=%s agents=%d: %w", backend, agents, err)
+			}
+			wall := time.Since(start)
+			runtime.ReadMemStats(&after)
+			m.Close()
+
+			allocsPerWin := float64(after.Mallocs-before.Mallocs) / float64(windows)
+			bytesPerWin := float64(after.TotalAlloc-before.TotalAlloc) / float64(windows)
+			pauseFrac := 0.0
+			if wall > 0 {
+				pauseFrac = float64(after.PauseTotalNs-before.PauseTotalNs) / float64(wall.Nanoseconds())
+			}
+			fmt.Printf("%10s %8d %16.0f %16.0f %13.2f%% %12s\n",
+				backend, agents, allocsPerWin, bytesPerWin, 100*pauseFrac, wall.Round(time.Millisecond))
+			rows = append(rows, []string{
+				backend, fmt.Sprint(agents), fmt.Sprint(windows), fmt.Sprint(keyBits),
+				fmt.Sprintf("%.1f", allocsPerWin),
+				fmt.Sprintf("%.0f", bytesPerWin),
+				fmt.Sprintf("%.5f", pauseFrac),
+				fmt.Sprint(wall.Milliseconds()),
+			})
+		}
+	}
+	fmt.Println("(process-wide ReadMemStats deltas across the window loop; provisioning and keygen excluded)")
 	return o.flushCSV(rows)
 }
 

@@ -8,6 +8,7 @@ import (
 	"math/big"
 
 	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/transport"
 )
 
 // hybridBackend replaces the Paillier phases that never need a decryption
@@ -42,16 +43,19 @@ func (*hybridBackend) name() string { return BackendHybrid }
 
 // maskWords derives this party's two mask words for a (peer, tag) pair from
 // the engine-provisioned pairwise seed. Both endpoints of the pair derive
-// identical words; anyone else sees uniformly random shares.
+// identical words; anyone else sees uniformly random shares. The hash input
+// seed||tag is assembled in the run's recycled buffer and digested with
+// sha256.Sum256 — byte-identical to the streaming-hash formulation, without
+// its per-call state allocation.
 func (r *windowRun) maskWords(peer, tag string) (uint64, uint64, error) {
 	seed, ok := r.maskSeeds[peer]
 	if !ok {
 		return 0, 0, fmt.Errorf("hybrid: no mask seed for %s (backend requires engine provisioning)", peer)
 	}
-	h := sha256.New()
-	h.Write(seed)
-	h.Write([]byte(tag))
-	s := h.Sum(nil)
+	b := append(r.hashBuf[:0], seed...)
+	b = append(b, tag...)
+	r.hashBuf = b
+	s := sha256.Sum256(b)
 	return binary.BigEndian.Uint64(s[:8]), binary.BigEndian.Uint64(s[8:16]), nil
 }
 
@@ -74,9 +78,10 @@ func (s maskedShare) add(o maskedShare) maskedShare {
 
 // encodeShare writes the first `words` words as a fixed-width frame: the
 // frame size depends only on the phase, never on the values, preserving
-// exact netem byte accounting.
+// exact netem byte accounting. The frame is pooled — the caller owns it and
+// recycles it with transport.PutFrame once sent.
 func encodeShare(s maskedShare, words int) []byte {
-	out := make([]byte, 8*words)
+	out := transport.GetFrame(8 * words)
 	for i := 0; i < words; i++ {
 		binary.BigEndian.PutUint64(out[8*i:], s[i])
 	}
@@ -121,6 +126,7 @@ func (r *windowRun) maskedFold(ctx context.Context, order []string, sink, tag st
 			return fmt.Errorf("hybrid ring %s: recv: %w", tag, err)
 		}
 		in, err := decodeShare(raw, words, tag)
+		transport.PutFrame(raw)
 		if err != nil {
 			return err
 		}
@@ -130,7 +136,10 @@ func (r *windowRun) maskedFold(ctx context.Context, order []string, sink, tag st
 	if pos+1 < len(order) {
 		next = order[pos+1]
 	}
-	if err := r.conn.Send(ctx, next, tag, encodeShare(acc, words)); err != nil {
+	out := encodeShare(acc, words)
+	err := r.conn.Send(ctx, next, tag, out)
+	transport.PutFrame(out)
+	if err != nil {
 		return fmt.Errorf("hybrid ring %s: send: %w", tag, err)
 	}
 	return nil
@@ -143,7 +152,10 @@ func (r *windowRun) maskedFoldTree(ctx context.Context, order []string, pos int,
 	acc := share
 	for stride := 1; stride < n; stride *= 2 {
 		if pos%(2*stride) == stride {
-			if err := r.conn.Send(ctx, order[pos-stride], tag, encodeShare(acc, words)); err != nil {
+			out := encodeShare(acc, words)
+			err := r.conn.Send(ctx, order[pos-stride], tag, out)
+			transport.PutFrame(out)
+			if err != nil {
 				return fmt.Errorf("hybrid tree %s: send: %w", tag, err)
 			}
 			return nil
@@ -157,12 +169,16 @@ func (r *windowRun) maskedFoldTree(ctx context.Context, order []string, pos int,
 			return fmt.Errorf("hybrid tree %s: recv: %w", tag, err)
 		}
 		in, err := decodeShare(raw, words, tag)
+		transport.PutFrame(raw)
 		if err != nil {
 			return err
 		}
 		acc = acc.add(in)
 	}
-	if err := r.conn.Send(ctx, sink, tag, encodeShare(acc, words)); err != nil {
+	out := encodeShare(acc, words)
+	err := r.conn.Send(ctx, sink, tag, out)
+	transport.PutFrame(out)
+	if err != nil {
 		return fmt.Errorf("hybrid tree %s: send: %w", tag, err)
 	}
 	return nil
@@ -180,6 +196,7 @@ func (r *windowRun) maskedCollect(ctx context.Context, order []string, tag strin
 		return total, fmt.Errorf("hybrid %s: recv final: %w", tag, err)
 	}
 	total, err = decodeShare(raw, words, tag)
+	transport.PutFrame(raw)
 	if err != nil {
 		return total, err
 	}
@@ -230,6 +247,7 @@ func (*hybridBackend) compareTotals(ctx context.Context, r *windowRun, masked ui
 			return 0, fmt.Errorf("masked comparison: %w", err)
 		}
 		rs, err := decodeShare(raw, 1, cmpTag)
+		transport.PutFrame(raw)
 		if err != nil {
 			return 0, err
 		}
@@ -237,14 +255,18 @@ func (*hybridBackend) compareTotals(ctx context.Context, r *windowRun, masked ui
 		if masked > rs[0] {
 			kind = market.GeneralMarket
 		}
-		if err := r.broadcast(ctx, ros.all, kindTag, []byte{byte(kind)}); err != nil {
+		msg := [1]byte{byte(kind)}
+		if err := r.broadcast(ctx, ros.all, kindTag, msg[:]); err != nil {
 			return 0, err
 		}
 		return kind, nil
 
 	default:
 		if r.ID() == ros.hr2 {
-			if err := r.conn.Send(ctx, ros.hr1, cmpTag, encodeShare(maskedShare{masked}, 1)); err != nil {
+			out := encodeShare(maskedShare{masked}, 1)
+			err := r.conn.Send(ctx, ros.hr1, cmpTag, out)
+			transport.PutFrame(out)
+			if err != nil {
 				return 0, fmt.Errorf("masked comparison: %w", err)
 			}
 		}
@@ -252,7 +274,9 @@ func (*hybridBackend) compareTotals(ctx context.Context, r *windowRun, masked ui
 		if err != nil {
 			return 0, err
 		}
-		return parseKindByte(raw)
+		kind, err := parseKindByte(raw)
+		transport.PutFrame(raw)
+		return kind, err
 	}
 }
 

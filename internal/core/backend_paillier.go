@@ -9,6 +9,7 @@ import (
 	"github.com/pem-go/pem/internal/gc"
 	"github.com/pem-go/pem/internal/market"
 	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/transport"
 )
 
 // paillierBackend is the paper's construction: every aggregation folds
@@ -82,7 +83,9 @@ func (*paillierBackend) compareTotals(ctx context.Context, r *windowRun, masked 
 		if err != nil {
 			return 0, err
 		}
-		return parseKindByte(raw)
+		kind, err := parseKindByte(raw)
+		transport.PutFrame(raw)
+		return kind, err
 	}
 }
 
@@ -100,6 +103,7 @@ func (*paillierBackend) collectPair(ctx context.Context, r *windowRun, tag strin
 		return nil, nil, fmt.Errorf("pricing: recv aggregate: %w", err)
 	}
 	ctK, ctT, err := decodeCipherPair(raw)
+	transport.PutFrame(raw)
 	if err != nil {
 		return nil, nil, err
 	}

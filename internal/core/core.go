@@ -412,7 +412,31 @@ func partyRandom(cfg Config, id, domain string) io.Reader {
 		return rand.Reader
 	}
 	h := sha256.Sum256([]byte(fmt.Sprintf("pem/%s/%d/%s", domain, *cfg.Seed, id)))
-	return mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(h[:8]))))
+	return seededPRNG(int64(binary.BigEndian.Uint64(h[:8])))
+}
+
+// prngFree recycles the seeded per-window PRNG streams. A math/rand source
+// carries a multi-kilobyte state array; re-seeding a recycled one is
+// bit-identical to mrand.New(mrand.NewSource(n)) (Seed resets both the
+// source state and the Read position), so a steady-state window pays no
+// PRNG allocation. Long-lived streams (key generation, nonce pools) simply
+// never return to the pool.
+var prngFree = sync.Pool{New: func() any { return mrand.New(mrand.NewSource(0)) }}
+
+// seededPRNG returns a pooled deterministic stream re-seeded to n.
+func seededPRNG(n int64) *mrand.Rand {
+	r := prngFree.Get().(*mrand.Rand)
+	r.Seed(n)
+	return r
+}
+
+// releasePRNG returns a window's seeded stream to the pool once its run is
+// done; crypto/rand readers pass through. The caller must not retain the
+// reader afterwards.
+func releasePRNG(r io.Reader) {
+	if m, ok := r.(*mrand.Rand); ok {
+		prngFree.Put(m)
+	}
 }
 
 // Metrics exposes the transport byte counters (Table I).

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/big"
 
 	"github.com/pem-go/pem/internal/market"
 )
@@ -27,12 +26,21 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 	ros := r.ros
 
 	// Round A contributions: buyers fold |sn_j| + r_j, sellers fold r_i.
-	// Ring order: buyers, then sellers without Hr1; sink is Hr1.
-	ringA := append(append([]string{}, ros.buyers...), without(ros.sellers, ros.hr1)...)
+	// Ring order: buyers, then sellers without Hr1; sink is Hr1. The ring
+	// order and the contribution integers live in this run's recycled
+	// scratch — a steady-state window builds them allocation-free.
+	ringA := append(r.ringABuf[:0], ros.buyers...)
+	for _, id := range ros.sellers {
+		if id != ros.hr1 {
+			ringA = append(ringA, id)
+		}
+	}
+	r.ringABuf = ringA
 	tagA := r.tag("pme/rb")
-	contribA := new(big.Int).SetUint64(r.nonce)
+	contribA := r.contribBuf[0].SetUint64(r.nonce)
 	if r.role == market.RoleBuyer {
-		contribA.Add(contribA, new(big.Int).Abs(r.snFixed.Big()))
+		sn := r.contribBuf[1].SetInt64(int64(r.snFixed))
+		contribA.Add(contribA, sn.Abs(sn))
 	}
 
 	var rb uint64
@@ -43,7 +51,7 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 			return 0, err
 		}
 		// Fold in Hr1's own nonce locally.
-		m.Add(m, new(big.Int).SetUint64(r.nonce))
+		m.Add(m, r.contribBuf[1].SetUint64(r.nonce))
 		if m.Sign() < 0 || !m.IsUint64() {
 			return 0, fmt.Errorf("masked demand out of range: %s", m)
 		}
@@ -56,11 +64,17 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 
 	// Round B: sellers fold sn_i + r_i, buyers without Hr2 fold r_j; sink
 	// is Hr2.
-	ringB := append(append([]string{}, ros.sellers...), without(ros.buyers, ros.hr2)...)
+	ringB := append(r.ringBBuf[:0], ros.sellers...)
+	for _, id := range ros.buyers {
+		if id != ros.hr2 {
+			ringB = append(ringB, id)
+		}
+	}
+	r.ringBBuf = ringB
 	tagB := r.tag("pme/rs")
-	contribB := new(big.Int).SetUint64(r.nonce)
+	contribB := r.contribBuf[0].SetUint64(r.nonce)
 	if r.role == market.RoleSeller {
-		contribB.Add(contribB, r.snFixed.Big())
+		contribB.Add(contribB, r.contribBuf[1].SetInt64(int64(r.snFixed)))
 	}
 
 	var rs uint64
@@ -70,7 +84,7 @@ func (r *windowRun) privateMarketEvaluation(ctx context.Context) (market.Kind, e
 		if err != nil {
 			return 0, err
 		}
-		m.Add(m, new(big.Int).SetUint64(r.nonce))
+		m.Add(m, r.contribBuf[1].SetUint64(r.nonce))
 		if m.Sign() < 0 || !m.IsUint64() {
 			return 0, fmt.Errorf("masked supply out of range: %s", m)
 		}

@@ -9,6 +9,7 @@ import (
 
 	"github.com/pem-go/pem/internal/fixed"
 	"github.com/pem-go/pem/internal/market"
+	"github.com/pem-go/pem/internal/transport"
 )
 
 // privatePricing is Protocol 3: in a general market, a hash-chosen buyer Hb
@@ -47,7 +48,9 @@ func (r *windowRun) privatePricing(ctx context.Context) (price, pHat float64, er
 		if err != nil {
 			return 0, 0, fmt.Errorf("price term out of range: %w", err)
 		}
-		if err := r.backend.pricingFold(ctx, r, tagRing, kFixed.Big(), termFixed.Big()); err != nil {
+		k := r.contribBuf[0].SetInt64(int64(kFixed))
+		t := r.contribBuf[1].SetInt64(int64(termFixed))
+		if err := r.backend.pricingFold(ctx, r, tagRing, k, t); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -62,6 +65,7 @@ func (r *windowRun) privatePricing(ctx context.Context) (price, pHat float64, er
 		return 0, 0, fmt.Errorf("bad price broadcast")
 	}
 	pv := fixed.Value(int64(binary.BigEndian.Uint64(raw)))
+	transport.PutFrame(raw)
 	price = pv.Float()
 	if price < r.cfg.Params.PriceFloor-1e-9 || price > r.cfg.Params.PriceCeil+1e-9 {
 		return 0, 0, fmt.Errorf("broadcast price %.4f outside [%v, %v]", price, r.cfg.Params.PriceFloor, r.cfg.Params.PriceCeil)
@@ -101,16 +105,18 @@ func (r *windowRun) pricingRingStep(ctx context.Context, tag string, kContrib, t
 			return fmt.Errorf("pricing ring recv: %w", err)
 		}
 		inK, inT, err := decodeCipherPair(raw)
+		transport.PutFrame(raw)
 		if err != nil {
 			return err
 		}
 		pk := r.dir[ros.hb]
-		if accK, err = pk.Add(inK, encK); err != nil {
+		if err := pk.AddInPlace(inK, encK); err != nil {
 			return err
 		}
-		if accT, err = pk.Add(inT, encT); err != nil {
+		if err := pk.AddInPlace(inT, encT); err != nil {
 			return err
 		}
+		accK, accT = inK, inT
 	}
 
 	next := ros.hb
@@ -121,7 +127,9 @@ func (r *windowRun) pricingRingStep(ctx context.Context, tag string, kContrib, t
 	if err != nil {
 		return err
 	}
-	return r.conn.Send(ctx, next, tag, payload)
+	err = r.conn.Send(ctx, next, tag, payload)
+	transport.PutFrame(payload)
+	return err
 }
 
 // pricingAsHb is the chosen buyer's side: collect the pair aggregate via

@@ -12,6 +12,7 @@ import (
 	"github.com/pem-go/pem/internal/market"
 	"github.com/pem-go/pem/internal/netem"
 	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/transport"
 )
 
 // privateDistribution is Protocol 4: allocate the pairwise trading amounts
@@ -86,6 +87,7 @@ func (r *windowRun) privateDistribution(ctx context.Context, kind market.Kind, p
 			return nil, fmt.Errorf("distribution: recv ratios: %w", err)
 		}
 		ratios, err = decodeRatios(raw)
+		transport.PutFrame(raw)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +108,7 @@ func (r *windowRun) distributionAggregate(ctx context.Context, demandSide []stri
 		err    error
 	)
 	if r.cfg.Aggregation == AggregationTree {
-		acc, isRoot, err = r.foldTree(ctx, demandSide, hs, tagRing, absSn.Big())
+		acc, isRoot, err = r.foldTree(ctx, demandSide, hs, tagRing, r.contribBuf[0].SetInt64(int64(absSn)))
 		if err != nil {
 			return fmt.Errorf("distribution: %w", err)
 		}
@@ -121,12 +123,18 @@ func (r *windowRun) distributionAggregate(ctx context.Context, demandSide []stri
 	}
 
 	// Root: broadcast the encrypted total within the demand side; its own
-	// copy is handed to sendMaskedReciprocal through the window state.
-	out, err := acc.MarshalFixed(r.dir[hs])
+	// copy is handed to sendMaskedReciprocal through the window state. The
+	// broadcast settles before it returns, so the pooled frame can be
+	// recycled immediately after.
+	buf := transport.GetFrame(r.dir[hs].FixedLen())
+	out, err := acc.AppendFixed(buf[:0], r.dir[hs])
 	if err != nil {
+		transport.PutFrame(buf)
 		return err
 	}
-	if err := r.broadcast(ctx, demandSide, tagTotal, out); err != nil {
+	err = r.broadcast(ctx, demandSide, tagTotal, out)
+	transport.PutFrame(out)
+	if err != nil {
 		return err
 	}
 	r.encTotal = acc
@@ -148,7 +156,7 @@ func (r *windowRun) distributionRingFold(ctx context.Context, demandSide []strin
 		return nil, false, fmt.Errorf("distribution: %s not on demand side", r.ID())
 	}
 
-	enc, err := r.encryptUnder(ctx, hs, absSn.Big())
+	enc, err := r.encryptUnder(ctx, hs, r.contribBuf[0].SetInt64(int64(absSn)))
 	if err != nil {
 		return nil, false, fmt.Errorf("distribution: encrypt share: %w", err)
 	}
@@ -159,20 +167,19 @@ func (r *windowRun) distributionRingFold(ctx context.Context, demandSide []strin
 			return nil, false, fmt.Errorf("distribution ring recv: %w", err)
 		}
 		var in paillier.Ciphertext
-		if err := in.UnmarshalBinary(raw); err != nil {
+		err = in.UnmarshalBinary(raw)
+		transport.PutFrame(raw)
+		if err != nil {
 			return nil, false, fmt.Errorf("distribution ring decode: %w", err)
 		}
-		if acc, err = r.dir[hs].Add(&in, enc); err != nil {
+		if err := r.dir[hs].AddInPlace(&in, enc); err != nil {
 			return nil, false, err
 		}
+		acc = &in
 	}
 
 	if pos+1 < len(demandSide) {
-		out, err := acc.MarshalFixed(r.dir[hs])
-		if err != nil {
-			return nil, false, err
-		}
-		return nil, false, r.conn.Send(ctx, demandSide[pos+1], tagRing, out)
+		return nil, false, r.sendCipher(ctx, r.dir[hs], acc, demandSide[pos+1], tagRing)
 	}
 	return acc, true, nil
 }
@@ -189,7 +196,9 @@ func (r *windowRun) sendMaskedReciprocal(ctx context.Context, hs, tagTotal, tagM
 			return fmt.Errorf("distribution: recv total: %w", err)
 		}
 		var ct paillier.Ciphertext
-		if err := ct.UnmarshalBinary(raw); err != nil {
+		err = ct.UnmarshalBinary(raw)
+		transport.PutFrame(raw)
+		if err != nil {
 			return fmt.Errorf("distribution: decode total: %w", err)
 		}
 		total = &ct
@@ -203,11 +212,7 @@ func (r *windowRun) sendMaskedReciprocal(ctx context.Context, hs, tagTotal, tagM
 	if err != nil {
 		return fmt.Errorf("distribution: scalar mul: %w", err)
 	}
-	payload, err := masked.MarshalFixed(r.dir[hs])
-	if err != nil {
-		return err
-	}
-	return r.conn.Send(ctx, hs, tagMasked, payload)
+	return r.sendCipher(ctx, r.dir[hs], masked, hs, tagMasked)
 }
 
 // collectRatios is Hs's side: drain each demand-side member's masked value
@@ -232,7 +237,9 @@ func (r *windowRun) collectRatios(ctx context.Context, demandSide, supplySide []
 		ids[i] = from
 		r.workers.Go(&wg, func() {
 			var ct paillier.Ciphertext
-			if err := ct.UnmarshalBinary(raw); err != nil {
+			err := ct.UnmarshalBinary(raw)
+			transport.PutFrame(raw)
+			if err != nil {
 				errs[i] = fmt.Errorf("distribution: decode masked from %s: %w", from, err)
 				return
 			}
@@ -303,8 +310,7 @@ func (r *windowRun) routeAndPay(ctx context.Context, kind market.Kind, price flo
 	switch {
 	case contains(supplySide, r.ID()):
 		myShare := r.snFixed.Abs().Float()
-		ids := append([]string(nil), demandSide...)
-		sort.Strings(ids)
+		ids := demandSide // already sorted (coalition rosters are)
 		trades := make([]market.Trade, len(ids))
 		errs := make([]error, len(ids))
 		var wg sync.WaitGroup
@@ -368,6 +374,7 @@ func (r *windowRun) exchangeAsSupplier(ctx context.Context, kind market.Kind, pr
 		return market.Trade{}, fmt.Errorf("distribution: bad reply from %s", peer)
 	}
 	reply := fixed.Value(int64(binary.BigEndian.Uint64(raw))).Float()
+	transport.PutFrame(raw)
 
 	e := ev.Float() // what was actually put on the wire
 	if kind == market.GeneralMarket {
@@ -396,6 +403,7 @@ func (r *windowRun) exchangeAsDemander(ctx context.Context, kind market.Kind, pr
 		return fmt.Errorf("distribution: bad energy from %s", peer)
 	}
 	e := fixed.Value(int64(binary.BigEndian.Uint64(raw))).Float()
+	transport.PutFrame(raw)
 	if e < 0 {
 		return fmt.Errorf("distribution: negative energy from %s", peer)
 	}
@@ -510,20 +518,24 @@ func decodeRatios(raw []byte) (map[string]float64, error) {
 
 // cipher-pair codec shared with Protocol 3. Encoding is fixed-width under
 // the pair's key (see Ciphertext.MarshalFixed) so the frame size never
-// depends on the drawn blinding factors.
+// depends on the drawn blinding factors. The returned payload is a pooled
+// frame: the caller owns it and hands it back with transport.PutFrame once
+// sent.
 func encodeCipherPair(pk *paillier.PublicKey, a, b *paillier.Ciphertext) ([]byte, error) {
-	ab, err := a.MarshalFixed(pk)
+	n := pk.FixedLen()
+	buf := transport.GetFrame(4 + 2*n)
+	binary.BigEndian.PutUint32(buf[:4], uint32(n))
+	out, err := a.AppendFixed(buf[:4], pk)
 	if err != nil {
+		transport.PutFrame(buf)
 		return nil, err
 	}
-	bb, err := b.MarshalFixed(pk)
+	out, err = b.AppendFixed(out, pk)
 	if err != nil {
+		transport.PutFrame(buf)
 		return nil, err
 	}
-	var u32 [4]byte
-	binary.BigEndian.PutUint32(u32[:], uint32(len(ab)))
-	out := append(u32[:], ab...)
-	return append(out, bb...), nil
+	return out, nil
 }
 
 func decodeCipherPair(raw []byte) (*paillier.Ciphertext, *paillier.Ciphertext, error) {

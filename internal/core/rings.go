@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/transport"
 )
 
 // encryptUnder encrypts m under the public key of holder, using the
@@ -63,28 +64,39 @@ func (r *windowRun) ringAggregate(ctx context.Context, order []string, keyHolder
 			return fmt.Errorf("ring %s: recv: %w", tag, err)
 		}
 		var incoming paillier.Ciphertext
-		if err := incoming.UnmarshalBinary(raw); err != nil {
+		err = incoming.UnmarshalBinary(raw)
+		transport.PutFrame(raw)
+		if err != nil {
 			return fmt.Errorf("ring %s: decode: %w", tag, err)
 		}
-		pk := r.dir[keyHolder]
-		acc, err = pk.Add(&incoming, enc)
-		if err != nil {
+		if err := r.dir[keyHolder].AddInPlace(&incoming, enc); err != nil {
 			return fmt.Errorf("ring %s: fold: %w", tag, err)
 		}
+		acc = &incoming
 	}
 
 	next := sink
 	if pos+1 < len(order) {
 		next = order[pos+1]
 	}
-	out, err := acc.MarshalFixed(r.dir[keyHolder])
-	if err != nil {
-		return err
-	}
-	if err := r.conn.Send(ctx, next, tag, out); err != nil {
+	if err := r.sendCipher(ctx, r.dir[keyHolder], acc, next, tag); err != nil {
 		return fmt.Errorf("ring %s: send: %w", tag, err)
 	}
 	return nil
+}
+
+// sendCipher serializes ct fixed-width into a pooled frame, sends it and
+// recycles the frame (Send leaves buffer ownership with the caller).
+func (r *windowRun) sendCipher(ctx context.Context, pk *paillier.PublicKey, ct *paillier.Ciphertext, to, tag string) error {
+	buf := transport.GetFrame(pk.FixedLen())
+	out, err := ct.AppendFixed(buf[:0], pk)
+	if err != nil {
+		transport.PutFrame(buf)
+		return err
+	}
+	err = r.conn.Send(ctx, to, tag, out)
+	transport.PutFrame(out)
+	return err
 }
 
 // aggregate folds the ring members' encrypted contributions into a single
@@ -102,11 +114,7 @@ func (r *windowRun) aggregate(ctx context.Context, order []string, keyHolder, si
 		if !isRoot {
 			return nil
 		}
-		out, err := acc.MarshalFixed(r.dir[keyHolder])
-		if err != nil {
-			return err
-		}
-		if err := r.conn.Send(ctx, sink, tag, out); err != nil {
+		if err := r.sendCipher(ctx, r.dir[keyHolder], acc, sink, tag); err != nil {
 			return fmt.Errorf("tree %s: send: %w", tag, err)
 		}
 		return nil
@@ -125,7 +133,9 @@ func (r *windowRun) collect(ctx context.Context, order []string, tag string) (*b
 		return nil, fmt.Errorf("agg %s: recv final: %w", tag, err)
 	}
 	var ct paillier.Ciphertext
-	if err := ct.UnmarshalBinary(raw); err != nil {
+	err = ct.UnmarshalBinary(raw)
+	transport.PutFrame(raw)
+	if err != nil {
 		return nil, fmt.Errorf("agg %s: decode final: %w", tag, err)
 	}
 	m, err := r.key.Decrypt(&ct)
@@ -168,14 +178,11 @@ func (r *windowRun) foldTree(ctx context.Context, order []string, keyHolder, tag
 		return nil, false, fmt.Errorf("tree %s: encrypt: %w", tag, err)
 	}
 	pk := r.dir[keyHolder]
+	var incoming paillier.Ciphertext // reused across strides
 	for stride := 1; stride < n; stride *= 2 {
 		if pos%(2*stride) == stride {
 			// Odd multiple of stride: forward the partial downhill, done.
-			out, err := acc.MarshalFixed(pk)
-			if err != nil {
-				return nil, false, err
-			}
-			if err := r.conn.Send(ctx, order[pos-stride], tag, out); err != nil {
+			if err := r.sendCipher(ctx, pk, acc, order[pos-stride], tag); err != nil {
 				return nil, false, fmt.Errorf("tree %s: send: %w", tag, err)
 			}
 			return nil, false, nil
@@ -189,11 +196,12 @@ func (r *windowRun) foldTree(ctx context.Context, order []string, keyHolder, tag
 		if err != nil {
 			return nil, false, fmt.Errorf("tree %s: recv: %w", tag, err)
 		}
-		var incoming paillier.Ciphertext
-		if err := incoming.UnmarshalBinary(raw); err != nil {
+		err = incoming.UnmarshalBinary(raw)
+		transport.PutFrame(raw)
+		if err != nil {
 			return nil, false, fmt.Errorf("tree %s: decode: %w", tag, err)
 		}
-		if acc, err = pk.Add(acc, &incoming); err != nil {
+		if err := pk.AddInPlace(acc, &incoming); err != nil {
 			return nil, false, fmt.Errorf("tree %s: fold: %w", tag, err)
 		}
 	}
@@ -216,7 +224,24 @@ func without(order []string, id string) []string {
 // transport's per-connection write locks no single slow peer delays the
 // others. The first failure (by roster order) is returned after all sends
 // settle.
+//
+// When the transport's Send provably never blocks (the in-memory bus, with
+// or without fault/netem wrappers), the fan-out runs as a plain sequential
+// loop instead: no goroutines, no error slice, no filtered roster copy.
+// Outcomes are identical — netem draws its delay realizations per link, so
+// sends to distinct peers carry the same virtual timestamps in any order.
 func (r *windowRun) broadcast(ctx context.Context, to []string, tag string, payload []byte) error {
+	if transport.SendNeverBlocks(r.conn) {
+		for _, id := range to {
+			if id == r.ID() {
+				continue
+			}
+			if err := r.conn.Send(ctx, id, tag, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	peers := without(to, r.ID())
 	switch len(peers) {
 	case 0:

@@ -1,8 +1,12 @@
 package core
 
 import (
-	"fmt"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"io"
+	"sort"
+	"strconv"
 	"sync"
 
 	"github.com/pem-go/pem/internal/market"
@@ -31,6 +35,17 @@ type Party struct {
 	conn transport.Conn
 	key  *paillier.PrivateKey
 	dir  map[string]*paillier.PublicKey // all parties' Paillier keys
+
+	// allSorted is the sorted fleet roster, derived once from dir: coalition
+	// membership changes every window, the fleet does not, so the role
+	// announcement never rebuilds or re-sorts it.
+	allSorted []string
+
+	// runFree recycles windowRun objects (and the scratch buffers they
+	// carry: role slices, roster backing store, hash inputs) across the
+	// windows this party executes, so the scheduler pipeline reuses
+	// per-window state instead of reallocating it each window.
+	runFree sync.Pool
 
 	// workers is the shared batch-crypto pool (see Config.CryptoWorkers).
 	// Engine parties share one pool fleet-wide; standalone parties own
@@ -63,11 +78,22 @@ func newParty(cfg Config, agent market.Agent, conn transport.Conn, key *paillier
 		conn:      conn,
 		key:       key,
 		dir:       dir,
+		allSorted: sortedRoster(dir),
 		workers:   workers,
 		backend:   backend,
 		maskSeeds: maskSeeds,
 		pools:     make(map[string]*paillier.NoncePool),
 	}
+}
+
+// sortedRoster derives the sorted fleet roster from a key directory.
+func sortedRoster(dir map[string]*paillier.PublicKey) []string {
+	all := make([]string, 0, len(dir))
+	for id := range dir {
+		all = append(all, id)
+	}
+	sort.Strings(all)
+	return all
 }
 
 // ID returns the party identifier.
@@ -81,8 +107,25 @@ func (p *Party) ReplaceConn(c transport.Conn) { p.conn = c }
 // purposes: concurrent windows never contend on a shared (non-thread-safe)
 // PRNG, and a seeded engine produces bit-identical outcomes no matter how
 // the scheduler interleaves windows.
+//
+// The derivation key is byte-identical to
+// partyRandom(cfg, id, fmt.Sprintf("protocol/w%d", window)) — "pem/
+// protocol/w<window>/<seed>/<id>" — built without the fmt round trips, and
+// the PRNG itself is recycled through the pool in core.go (putRun returns
+// it), so a steady-state window draws its stream allocation-free.
 func (p *Party) windowRandom(window int) io.Reader {
-	return partyRandom(p.cfg, p.agent.ID, fmt.Sprintf("protocol/w%d", window))
+	if p.cfg.Seed == nil {
+		return rand.Reader
+	}
+	var arr [96]byte
+	b := append(arr[:0], "pem/protocol/w"...)
+	b = strconv.AppendInt(b, int64(window), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, *p.cfg.Seed, 10)
+	b = append(b, '/')
+	b = append(b, p.agent.ID...)
+	h := sha256.Sum256(b)
+	return seededPRNG(int64(binary.BigEndian.Uint64(h[:8])))
 }
 
 // poolTarget is the per-pool stock of precomputed blinding factors. With

@@ -87,6 +87,9 @@ func (p *Party) ExchangeKeys(ctx context.Context, peers []string) error {
 		}
 		p.dir[id] = &pk
 	}
+	// The key directory just grew: refresh the cached fleet roster the
+	// role-announcement phase iterates every window.
+	p.allSorted = sortedRoster(p.dir)
 	return nil
 }
 

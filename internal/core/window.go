@@ -6,7 +6,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/big"
 	"sort"
+	"strconv"
+	"sync"
 
 	"github.com/pem-go/pem/internal/fixed"
 	"github.com/pem-go/pem/internal/market"
@@ -38,28 +41,42 @@ func contains(sorted []string, id string) bool {
 	return i < len(sorted) && sorted[i] == id
 }
 
+// coinFree recycles the public-coin hash input buffers across windows.
+var coinFree = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
 // publicCoin derives a deterministic index from the window, the rosters and
 // a domain separator — the shared randomness replacing the paper's
-// "randomly choose H…" without a trusted dealer.
+// "randomly choose H…" without a trusted dealer. The hash input is built
+// in a recycled buffer and digested with sha256.Sum256, byte-identical to
+// the original fmt/hash.Hash formulation.
 func publicCoin(window int, domain string, sellers, buyers []string, n int) int {
-	h := sha256.New()
-	fmt.Fprintf(h, "pem/coin/%s/%d", domain, window)
+	bp := coinFree.Get().(*[]byte)
+	b := append((*bp)[:0], "pem/coin/"...)
+	b = append(b, domain...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(window), 10)
 	for _, s := range sellers {
-		h.Write([]byte{0})
-		h.Write([]byte(s))
+		b = append(b, 0)
+		b = append(b, s...)
 	}
-	for _, b := range buyers {
-		h.Write([]byte{1})
-		h.Write([]byte(b))
+	for _, s := range buyers {
+		b = append(b, 1)
+		b = append(b, s...)
 	}
-	sum := h.Sum(nil)
-	v := binary.BigEndian.Uint64(sum[:8])
-	return int(v % uint64(n))
+	sum := sha256.Sum256(b)
+	*bp = b
+	coinFree.Put(bp)
+	return int(binary.BigEndian.Uint64(sum[:8]) % uint64(n))
 }
 
-// buildRoster fills the selection fields once coalition membership is known.
-func buildRoster(window int, all, sellers, buyers []string) *roster {
-	r := &roster{window: window, all: all, sellers: sellers, buyers: buyers}
+// fillRoster populates a (possibly recycled) roster in place once coalition
+// membership is known.
+func fillRoster(r *roster, window int, all, sellers, buyers []string) *roster {
+	r.window = window
+	r.all = all
+	r.sellers = sellers
+	r.buyers = buyers
+	r.hr1, r.hr2, r.hb, r.hs = "", "", "", ""
 	if len(sellers) > 0 {
 		r.hr1 = sellers[publicCoin(window, "hr1", sellers, buyers, len(sellers))]
 	}
@@ -68,6 +85,11 @@ func buildRoster(window int, all, sellers, buyers []string) *roster {
 		r.hb = buyers[publicCoin(window, "hb", sellers, buyers, len(buyers))]
 	}
 	return r
+}
+
+// buildRoster fills the selection fields on a fresh roster.
+func buildRoster(window int, all, sellers, buyers []string) *roster {
+	return fillRoster(new(roster), window, all, sellers, buyers)
 }
 
 // windowRun is one party's protocol-run object for a single trading
@@ -94,6 +116,50 @@ type windowRun struct {
 	// the ring broadcaster, its own copy of the encrypted total.
 	demandSide []string
 	encTotal   *paillier.Ciphertext
+
+	// Recycled scratch, reused across the windows this run object serves
+	// (see Party.getRun): the role-collection slices backing the roster,
+	// the roster itself, the Protocol 2 ring orders, the hybrid backend's
+	// mask-derivation buffer and two big.Int contribution scratches.
+	sellersBuf, buyersBuf []string
+	ringABuf, ringBBuf    []string
+	rosBuf                roster
+	hashBuf               []byte
+	contribBuf            [2]big.Int
+}
+
+// getRun acquires a protocol-run object for one window, recycled from the
+// party's pool when available. The recycled scratch buffers keep their
+// capacity; every window-scoped field is reset here.
+func (p *Party) getRun(window int, input market.WindowInput, snFixed fixed.Value) *windowRun {
+	r, _ := p.runFree.Get().(*windowRun)
+	if r == nil {
+		r = &windowRun{Party: p}
+	}
+	r.window = window
+	r.random = p.windowRandom(window)
+	r.input = input
+	r.snFixed = snFixed
+	r.role = market.RoleOff
+	r.nonce = 0
+	r.ros = nil
+	r.demandSide = nil
+	r.encTotal = nil
+	return r
+}
+
+// putRun returns a finished run object to the party's pool, releasing its
+// seeded PRNG stream and dropping every reference that must not outlive
+// the window. Safe only once the window has fully joined (runWindow defers
+// it after all per-window goroutines are waited out).
+func (p *Party) putRun(r *windowRun) {
+	releasePRNG(r.random)
+	r.random = nil
+	r.input = market.WindowInput{}
+	r.ros = nil
+	r.demandSide = nil
+	r.encTotal = nil
+	p.runFree.Put(r)
 }
 
 // tag scopes a message tag under this window's transport namespace — and,
@@ -129,13 +195,8 @@ func (p *Party) runWindow(ctx context.Context, window int, input market.WindowIn
 	if err != nil {
 		return nil, fmt.Errorf("window %d: net energy: %w", window, err)
 	}
-	r := &windowRun{
-		Party:   p,
-		window:  window,
-		random:  p.windowRandom(window),
-		input:   input,
-		snFixed: snFixed,
-	}
+	r := p.getRun(window, input, snFixed)
+	defer p.putRun(r)
 	switch {
 	case snFixed > 0:
 		r.role = market.RoleSeller
@@ -211,29 +272,24 @@ func (r *windowRun) drawNonce() (uint64, error) {
 }
 
 // announceRoles broadcasts this party's role and collects everyone else's,
-// then builds the deterministic roster.
+// then builds the deterministic roster. The fleet roster is the session's
+// cached sorted copy, and the coalition slices and roster object are this
+// run's recycled scratch, so a steady-state window allocates nothing here.
 func (r *windowRun) announceRoles(ctx context.Context) error {
 	tag := r.tag("role")
-	msg := []byte{byte(r.role)}
-	all := make([]string, 0, len(r.dir))
-	for id := range r.dir {
-		all = append(all, id)
-	}
-	sort.Strings(all)
+	msg := [1]byte{byte(r.role)}
+	all := r.allSorted
 
-	if err := r.broadcast(ctx, all, tag, msg); err != nil {
+	if err := r.broadcast(ctx, all, tag, msg[:]); err != nil {
 		return err
 	}
-	var sellers, buyers []string
-	record := func(id string, role market.Role) {
-		switch role {
-		case market.RoleSeller:
-			sellers = append(sellers, id)
-		case market.RoleBuyer:
-			buyers = append(buyers, id)
-		}
+	sellers, buyers := r.sellersBuf[:0], r.buyersBuf[:0]
+	switch r.role {
+	case market.RoleSeller:
+		sellers = append(sellers, r.ID())
+	case market.RoleBuyer:
+		buyers = append(buyers, r.ID())
 	}
-	record(r.ID(), r.role)
 	for _, id := range all {
 		if id == r.ID() {
 			continue
@@ -246,13 +302,20 @@ func (r *windowRun) announceRoles(ctx context.Context) error {
 			return fmt.Errorf("bad role announcement from %s", id)
 		}
 		role := market.Role(raw[0])
-		if role != market.RoleSeller && role != market.RoleBuyer && role != market.RoleOff {
-			return fmt.Errorf("invalid role %d from %s", raw[0], id)
+		transport.PutFrame(raw)
+		switch role {
+		case market.RoleSeller:
+			sellers = append(sellers, id)
+		case market.RoleBuyer:
+			buyers = append(buyers, id)
+		case market.RoleOff:
+		default:
+			return fmt.Errorf("invalid role %d from %s", role, id)
 		}
-		record(id, role)
 	}
 	sort.Strings(sellers)
 	sort.Strings(buyers)
-	r.ros = buildRoster(r.window, all, sellers, buyers)
+	r.sellersBuf, r.buyersBuf = sellers, buyers
+	r.ros = fillRoster(&r.rosBuf, r.window, all, sellers, buyers)
 	return nil
 }

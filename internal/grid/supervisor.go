@@ -555,15 +555,15 @@ func oracleAccounting(cfg Config, sub *dataset.Trace, jobs []core.WindowJob, cr 
 	agents := sub.Agents()
 	cr.Residual = market.CoalitionResidual{Coalition: cr.Name}
 	cr.Flows = make(map[string]market.AgentFlows, len(agents))
+	var clr market.Clearing // one clearing's storage serves the whole day
 	for w := range jobs {
-		clr, err := market.Clear(agents, jobs[w].Inputs, params)
-		if err != nil {
+		if err := market.ClearInto(&clr, agents, jobs[w].Inputs, params); err != nil {
 			return fmt.Errorf("oracle window %d: %w", w, err)
 		}
-		imp, exp := market.ResidualFromClearing(clr)
+		imp, exp := market.ResidualFromClearing(&clr)
 		cr.Residual.ImportKWh += imp
 		cr.Residual.ExportKWh += exp
-		market.AccumulateFlows(cr.Flows, clr, params)
+		market.AccumulateFlows(cr.Flows, &clr, params)
 	}
 	return nil
 }
@@ -578,21 +578,21 @@ func foldCoalition(cfg Config, sub *dataset.Trace, cr *CoalitionRun) {
 	agents := sub.Agents()
 	cr.Residual = market.CoalitionResidual{Coalition: cr.Name}
 	cr.Flows = make(map[string]market.AgentFlows, len(agents))
+	var base market.Clearing // reused across the day's windows
 	for w := 0; w < sub.Windows; w++ {
 		inputs, err := sub.WindowInputs(w)
 		if err != nil {
 			cr.Err = err
 			return
 		}
-		base, err := market.BaselineClear(agents, inputs, params)
-		if err != nil {
+		if err := market.BaselineClearInto(&base, agents, inputs, params); err != nil {
 			cr.Err = fmt.Errorf("baseline window %d: %w", w, err)
 			return
 		}
-		imp, exp := market.ResidualFromClearing(base)
+		imp, exp := market.ResidualFromClearing(&base)
 		cr.Residual.ImportKWh += imp
 		cr.Residual.ExportKWh += exp
-		market.AccumulateFlows(cr.Flows, base, params)
+		market.AccumulateFlows(cr.Flows, &base, params)
 	}
 	cr.Folded = true
 	cr.Err = fmt.Errorf("%w: %d agents below minimum %d, folded into grid settlement",

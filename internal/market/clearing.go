@@ -52,6 +52,41 @@ type Clearing struct {
 	Outcomes []AgentOutcome
 	// SellerIDs and BuyerIDs hold the coalition rosters (sorted).
 	SellerIDs, BuyerIDs []string
+
+	// Reusable clearing scratch (ClearInto): role records and the ID index,
+	// retained across windows so a settlement loop allocates only on fleet
+	// growth.
+	sellers []sellerRec
+	buyers  []buyerRec
+	params  []SellerParams
+	idxByID map[string]int
+}
+
+// sellerRec and buyerRec are the per-window role records Clear builds while
+// classifying the fleet.
+type sellerRec struct {
+	idx int
+	net float64
+}
+
+type buyerRec struct {
+	idx    int
+	demand float64
+}
+
+// Reset empties c for reuse, retaining every slice's backing array (and the
+// index map) so ClearInto over a window sequence reuses one Clearing's
+// storage instead of reallocating it each window.
+func (c *Clearing) Reset() {
+	c.Kind = 0
+	c.PHat, c.Price, c.Supply, c.Demand = 0, 0, 0, 0
+	c.Trades = c.Trades[:0]
+	c.Outcomes = c.Outcomes[:0]
+	c.SellerIDs = c.SellerIDs[:0]
+	c.BuyerIDs = c.BuyerIDs[:0]
+	c.sellers = c.sellers[:0]
+	c.buyers = c.buyers[:0]
+	c.params = c.params[:0]
 }
 
 // GridInteraction is the total energy exchanged with the main grid in this
@@ -78,29 +113,38 @@ func (c *Clearing) TotalBuyerCost() float64 {
 // Clear computes the plaintext market outcome for one window, the reference
 // against which the cryptographic engine is validated.
 func Clear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, error) {
+	c := new(Clearing)
+	if err := ClearInto(c, agents, inputs, params); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ClearInto is Clear writing into a caller-owned Clearing: c is Reset and
+// refilled in place, reusing its trade/outcome/roster storage. Settlement
+// loops that clear many windows (the grid's oracle accounting) hold one
+// Clearing across the sequence instead of allocating a full result per
+// window. The outcome is bit-identical to Clear's.
+func ClearInto(c *Clearing, agents []Agent, inputs []WindowInput, params Params) error {
 	if len(agents) != len(inputs) {
-		return nil, fmt.Errorf("market: %d agents but %d inputs", len(agents), len(inputs))
+		return fmt.Errorf("market: %d agents but %d inputs", len(agents), len(inputs))
 	}
 	if err := params.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	for _, a := range agents {
 		if err := a.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 
-	c := &Clearing{Outcomes: make([]AgentOutcome, len(agents))}
-	type sellerRec struct {
-		idx int
-		net float64
+	c.Reset()
+	if cap(c.Outcomes) < len(agents) {
+		c.Outcomes = make([]AgentOutcome, len(agents))
+	} else {
+		c.Outcomes = c.Outcomes[:len(agents)]
 	}
-	type buyerRec struct {
-		idx    int
-		demand float64
-	}
-	var sellers []sellerRec
-	var buyers []buyerRec
+	sellers, buyers := c.sellers, c.buyers
 	for i, in := range inputs {
 		net := in.NetEnergy()
 		role := ClassifyRole(net)
@@ -116,6 +160,7 @@ func Clear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, erro
 			c.BuyerIDs = append(c.BuyerIDs, agents[i].ID)
 		}
 	}
+	c.sellers, c.buyers = sellers, buyers
 	sort.Strings(c.SellerIDs)
 	sort.Strings(c.BuyerIDs)
 
@@ -140,20 +185,21 @@ func Clear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, erro
 				o.Revenue = params.GridSellPrice * o.GridEnergy
 			}
 		}
-		return c, nil
+		return nil
 	}
 
 	if c.Supply < c.Demand {
 		c.Kind = GeneralMarket
-		sellerParams := make([]SellerParams, len(sellers))
-		for i, s := range sellers {
+		sellerParams := c.params[:0]
+		for _, s := range sellers {
 			a := agents[s.idx]
 			in := inputs[s.idx]
-			sellerParams[i] = SellerParams{K: a.K, Epsilon: a.Epsilon, Gen: in.Generation, Battery: in.Battery}
+			sellerParams = append(sellerParams, SellerParams{K: a.K, Epsilon: a.Epsilon, Gen: in.Generation, Battery: in.Battery})
 		}
+		c.params = sellerParams
 		pHat, pStar, err := OptimalPrice(sellerParams, params)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.PHat = pHat
 		c.Price = pStar
@@ -196,8 +242,15 @@ func Clear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, erro
 		}
 	}
 
-	// Aggregate per-agent outcomes.
-	idxByID := make(map[string]int, len(agents))
+	// Aggregate per-agent outcomes. The ID index is part of the reusable
+	// scratch: one map serves every window of a settlement loop.
+	idxByID := c.idxByID
+	if idxByID == nil {
+		idxByID = make(map[string]int, len(agents))
+		c.idxByID = idxByID
+	} else {
+		clear(idxByID)
+	}
 	for i, a := range agents {
 		idxByID[a.ID] = i
 	}
@@ -228,19 +281,36 @@ func Clear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, erro
 			}
 		}
 	}
-	return c, nil
+	return nil
 }
 
 // BaselineClear computes the paper's benchmark: no PEM, every agent trades
 // only with the main grid (sellers feed in at pbtg, buyers draw at retail).
 func BaselineClear(agents []Agent, inputs []WindowInput, params Params) (*Clearing, error) {
-	if len(agents) != len(inputs) {
-		return nil, fmt.Errorf("market: %d agents but %d inputs", len(agents), len(inputs))
-	}
-	if err := params.Validate(); err != nil {
+	c := new(Clearing)
+	if err := BaselineClearInto(c, agents, inputs, params); err != nil {
 		return nil, err
 	}
-	c := &Clearing{Kind: GeneralMarket, Price: params.GridRetailPrice, Outcomes: make([]AgentOutcome, len(agents))}
+	return c, nil
+}
+
+// BaselineClearInto is BaselineClear writing into a caller-owned Clearing,
+// mirroring ClearInto's reuse contract.
+func BaselineClearInto(c *Clearing, agents []Agent, inputs []WindowInput, params Params) error {
+	if len(agents) != len(inputs) {
+		return fmt.Errorf("market: %d agents but %d inputs", len(agents), len(inputs))
+	}
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	c.Reset()
+	c.Kind = GeneralMarket
+	c.Price = params.GridRetailPrice
+	if cap(c.Outcomes) < len(agents) {
+		c.Outcomes = make([]AgentOutcome, len(agents))
+	} else {
+		c.Outcomes = c.Outcomes[:len(agents)]
+	}
 	for i, in := range inputs {
 		net := in.NetEnergy()
 		role := ClassifyRole(net)
@@ -261,5 +331,5 @@ func BaselineClear(agents []Agent, inputs []WindowInput, params Params) (*Cleari
 	}
 	sort.Strings(c.SellerIDs)
 	sort.Strings(c.BuyerIDs)
-	return c, nil
+	return nil
 }

@@ -1,0 +1,177 @@
+package paillier
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// Allocation-budget tests: the pooled-arena work is only real if the hot
+// paths stay allocation-free (or within a pinned constant) release after
+// release. testing.AllocsPerRun includes a warm-up call, so one-time buffer
+// growth (a reused big.Int reaching ciphertext width, a frame pool priming
+// itself) is excluded and the budgets below are steady-state figures.
+
+// TestScalarMulFastPathAllocBudget pins the k ∈ {0, ±1} fast paths that
+// skip the exponentiation entirely. They still return a fresh Ciphertext —
+// the protocol contract — so the budget is the constant cost of that
+// result, never a function of the key size.
+func TestScalarMulFastPathAllocBudget(t *testing.T) {
+	key := testKey(t)
+	pk := &key.PublicKey
+	ct, err := pk.EncryptInt64(testRand(31), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		k      *big.Int
+		budget float64
+	}{
+		{"zero", big.NewInt(0), 4},
+		{"one", big.NewInt(1), 4},
+		{"minus-one", big.NewInt(-1), 24}, // ModInverse works in fresh storage
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			avg := testing.AllocsPerRun(100, func() {
+				if _, err := pk.ScalarMul(ct, tc.k); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg > tc.budget {
+				t.Errorf("ScalarMul(k=%v): %.1f allocs/op, budget %.0f", tc.k, avg, tc.budget)
+			}
+		})
+	}
+}
+
+// TestAppendFixedAllocFree pins the zero-copy wire encoding: appending a
+// fixed-width ciphertext into a caller-provided buffer of FixedLen capacity
+// allocates nothing.
+func TestAppendFixedAllocFree(t *testing.T) {
+	key := testKey(t)
+	pk := &key.PublicKey
+	ct, err := pk.EncryptInt64(testRand(32), 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 0, pk.FixedLen())
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := ct.AppendFixed(dst[:0], pk); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AppendFixed into sized buffer: %.1f allocs/op, want 0", avg)
+	}
+}
+
+// TestUnmarshalReuseAllocFree pins the decode half of the fold loops: once
+// a reused Ciphertext's integer has grown to ciphertext width, decoding
+// into it allocates nothing.
+func TestUnmarshalReuseAllocFree(t *testing.T) {
+	key := testKey(t)
+	pk := &key.PublicKey
+	ct, err := pk.EncryptInt64(testRand(33), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := ct.MarshalFixed(pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var into Ciphertext
+	avg := testing.AllocsPerRun(100, func() {
+		if err := into.UnmarshalBinary(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("UnmarshalBinary into reused ciphertext: %.1f allocs/op, want 0", avg)
+	}
+	if into.C.Cmp(ct.C) != 0 {
+		t.Fatal("reused decode changed the value")
+	}
+}
+
+// TestAppendFixedRoundTrip is the wire-encoder regression: AppendFixed
+// appended mid-buffer (the cipher-pair frame layout) is byte-identical to
+// a standalone MarshalFixed, and both decode back to the original value.
+func TestAppendFixedRoundTrip(t *testing.T) {
+	key := testKey(t)
+	pk := &key.PublicKey
+	for i := int64(0); i < 8; i++ {
+		ct, err := pk.EncryptInt64(testRand(40+i), i-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := ct.MarshalFixed(pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Append after a 4-byte prefix, as the pair encoder does.
+		buf := make([]byte, 4, 4+2*pk.FixedLen())
+		out, err := ct.AppendFixed(buf, pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out[4:], ref) {
+			t.Fatalf("AppendFixed mid-buffer differs from MarshalFixed")
+		}
+		var back Ciphertext
+		if err := back.UnmarshalBinary(out[4:]); err != nil {
+			t.Fatal(err)
+		}
+		if back.C.Cmp(ct.C) != 0 {
+			t.Fatalf("round trip changed ciphertext: %v vs %v", back.C, ct.C)
+		}
+	}
+}
+
+// FuzzAppendFixedPooled drives the pooled marshal path against the
+// allocating reference: for arbitrary plaintexts, AppendFixed into a reused
+// buffer must produce bytes identical to a fresh MarshalFixed, and both
+// must round-trip to the same ciphertext value.
+func FuzzAppendFixedPooled(f *testing.F) {
+	key, err := GenerateKey(testRand(16), 128)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pk := &key.PublicKey
+	reused := make([]byte, 0, pk.FixedLen())
+	f.Add(int64(0))
+	f.Add(int64(1))
+	f.Add(int64(-1))
+	f.Add(int64(1<<40 + 12345))
+	f.Fuzz(func(t *testing.T, m int64) {
+		ct, err := pk.EncryptInt64(testRand(m^0x5eed), m)
+		if err != nil {
+			// Out of the signed range for this key size — not this fuzz
+			// target's concern.
+			return
+		}
+		ref, err := ct.MarshalFixed(pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := ct.AppendFixed(reused[:0], pk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused = pooled[:0]
+		if !bytes.Equal(ref, pooled) {
+			t.Fatalf("pooled encoding differs from reference for m=%d", m)
+		}
+		var a, b Ciphertext
+		if err := a.UnmarshalBinary(ref); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.UnmarshalBinary(pooled); err != nil {
+			t.Fatal(err)
+		}
+		if a.C.Cmp(b.C) != 0 || a.C.Cmp(ct.C) != 0 {
+			t.Fatalf("round trip diverged for m=%d", m)
+		}
+	})
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package paillier
+
+// raceEnabled is false in regular builds; see arena_race.go.
+const raceEnabled = false

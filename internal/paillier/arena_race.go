@@ -1,0 +1,8 @@
+//go:build race
+
+package paillier
+
+// raceEnabled gates the Scratch use-after-put checks: they run only under
+// the race detector, keeping the production hot path branch-free while race
+// builds (the CI test configuration) turn arena lifecycle bugs into panics.
+const raceEnabled = true

@@ -73,6 +73,14 @@ func (c *Ciphertext) MarshalBinary() ([]byte, error) {
 // pre-computed blinding factor an encryption happened to draw.
 // UnmarshalBinary decodes both forms identically.
 func (c *Ciphertext) MarshalFixed(pk *PublicKey) ([]byte, error) {
+	return c.AppendFixed(nil, pk)
+}
+
+// AppendFixed appends the MarshalFixed encoding to dst and returns the
+// extended slice — the allocation-lean form of MarshalFixed: the wire
+// encoders pass a pooled frame buffer (see transport.GetFrame) sized with
+// FixedLen so steady-state serialization allocates nothing. dst may be nil.
+func (c *Ciphertext) AppendFixed(dst []byte, pk *PublicKey) ([]byte, error) {
 	if c.C == nil {
 		return nil, errors.New("paillier: nil ciphertext")
 	}
@@ -83,22 +91,48 @@ func (c *Ciphertext) MarshalFixed(pk *PublicKey) ([]byte, error) {
 	if c.C.Sign() < 0 || (c.C.BitLen()+7)/8 > width {
 		return nil, errors.New("paillier: ciphertext wider than the key's modulus")
 	}
-	out := make([]byte, 4+width)
-	binary.BigEndian.PutUint32(out, uint32(width))
-	c.C.FillBytes(out[4:])
-	return out, nil
+	off := len(dst)
+	need := 4 + width
+	if cap(dst)-off >= need {
+		dst = dst[:off+need]
+	} else {
+		grown := make([]byte, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	binary.BigEndian.PutUint32(dst[off:], uint32(width))
+	c.C.FillBytes(dst[off+4 : off+need])
+	return dst, nil
 }
 
-// UnmarshalBinary decodes a ciphertext produced by MarshalBinary.
+// FixedLen returns the exact encoded size of one AppendFixed/MarshalFixed
+// ciphertext under this key: the 4-byte width prefix plus the byte length
+// of n². Wire encoders use it to size pooled frame buffers.
+func (pk *PublicKey) FixedLen() int {
+	return 4 + (pk.N2.BitLen()+7)/8
+}
+
+// UnmarshalBinary decodes a ciphertext produced by MarshalBinary,
+// MarshalFixed or AppendFixed. A non-nil c.C is reused in place (its
+// storage absorbs the decoded value), so a fold loop that decodes into the
+// same Ciphertext every hop stops allocating once the integer has grown to
+// ciphertext width.
 func (c *Ciphertext) UnmarshalBinary(data []byte) error {
-	v, rest, err := readBig(data)
-	if err != nil {
-		return fmt.Errorf("decode ciphertext: %w", err)
+	if len(data) < 4 {
+		return errors.New("decode ciphertext: paillier: truncated length prefix")
 	}
-	if len(rest) != 0 {
+	n := binary.BigEndian.Uint32(data)
+	body := data[4:]
+	if uint32(len(body)) < n {
+		return errors.New("decode ciphertext: paillier: truncated big.Int body")
+	}
+	if uint32(len(body)) != n {
 		return errors.New("paillier: trailing bytes after ciphertext")
 	}
-	c.C = v
+	if c.C == nil {
+		c.C = new(big.Int)
+	}
+	c.C.SetBytes(body)
 	return nil
 }
 

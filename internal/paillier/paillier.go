@@ -200,8 +200,34 @@ func (pk *PublicKey) DecodeSigned(m *big.Int) *big.Int {
 	return new(big.Int).Set(m)
 }
 
-// randomUnit draws r uniformly from Z*_n.
-func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
+// encodeSignedInto is the allocation-lean EncodeSigned: the encoded residue
+// lands in dst (typically a Scratch integer). dst must not alias v.
+func (pk *PublicKey) encodeSignedInto(dst, v *big.Int) error {
+	dst.Rsh(pk.N, 1)
+	if v.CmpAbs(dst) >= 0 {
+		return ErrMessageTooLarge
+	}
+	if v.Sign() >= 0 {
+		dst.Set(v)
+	} else {
+		dst.Add(pk.N, v)
+	}
+	return nil
+}
+
+// decodeSignedInPlace is the allocation-lean DecodeSigned: m itself becomes
+// the signed plaintext and is returned. half is scratch for the n/2 bound.
+func (pk *PublicKey) decodeSignedInPlace(half, m *big.Int) *big.Int {
+	half.Rsh(pk.N, 1)
+	if m.Cmp(half) > 0 {
+		m.Sub(m, pk.N)
+	}
+	return m
+}
+
+// randomUnit draws r uniformly from Z*_n. s provides the GCD temporary.
+func (pk *PublicKey) randomUnit(s *Scratch, random io.Reader) (*big.Int, error) {
+	gcd := s.Int()
 	for {
 		r, err := rand.Int(random, pk.N)
 		if err != nil {
@@ -210,7 +236,7 @@ func (pk *PublicKey) randomUnit(random io.Reader) (*big.Int, error) {
 		if r.Sign() == 0 {
 			continue
 		}
-		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+		if gcd.GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
 			return r, nil
 		}
 	}
@@ -222,7 +248,9 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) 
 	if random == nil {
 		random = rand.Reader
 	}
-	r, err := pk.randomUnit(random)
+	s := GetScratch()
+	defer s.Put()
+	r, err := pk.randomUnit(s, random)
 	if err != nil {
 		return nil, err
 	}
@@ -234,8 +262,10 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) 
 // in parallel during idle time" optimization: the expensive exponentiation
 // happens ahead of time, leaving only two multiplications per encryption.
 func (pk *PublicKey) EncryptWithFactor(m, rn *big.Int) (*Ciphertext, error) {
-	em, err := pk.EncodeSigned(m)
-	if err != nil {
+	s := GetScratch()
+	defer s.Put()
+	em := s.Int()
+	if err := pk.encodeSignedInto(em, m); err != nil {
 		return nil, err
 	}
 	// (1 + em*n) * rn mod n².
@@ -258,7 +288,9 @@ func (pk *PublicKey) BlindingFactor(random io.Reader) (*big.Int, error) {
 	if random == nil {
 		random = rand.Reader
 	}
-	r, err := pk.randomUnit(random)
+	s := GetScratch()
+	defer s.Put()
+	r, err := pk.randomUnit(s, random)
 	if err != nil {
 		return nil, err
 	}
@@ -288,6 +320,24 @@ func (pk *PublicKey) Add(a, b *Ciphertext) (*Ciphertext, error) {
 	c := new(big.Int).Mul(a.C, b.C)
 	c.Mod(c, pk.N2)
 	return &Ciphertext{C: c}, nil
+}
+
+// AddInPlace folds b into acc (acc.C ← acc.C·b.C mod n²), mutating the
+// accumulator instead of allocating a result — the primitive behind the
+// allocation-lean ring/tree fold loops. acc and b must be distinct
+// ciphertexts.
+func (pk *PublicKey) AddInPlace(acc, b *Ciphertext) error {
+	if err := pk.validate(acc); err != nil {
+		return err
+	}
+	if err := pk.validate(b); err != nil {
+		return err
+	}
+	s := GetScratch()
+	defer s.Put()
+	t := s.Int().Mul(acc.C, b.C)
+	acc.C.Mod(t, pk.N2)
+	return nil
 }
 
 // AddPlain returns a ciphertext encrypting plaintext(c) + m without fresh
@@ -323,16 +373,26 @@ func (pk *PublicKey) ScalarMul(c *Ciphertext, k *big.Int) (*Ciphertext, error) {
 	if k.Sign() == 0 {
 		return &Ciphertext{C: big.NewInt(1)}, nil
 	}
-	base := new(big.Int).Set(c.C)
-	if k.Sign() < 0 {
-		if base.ModInverse(base, pk.N2) == nil {
-			return nil, ErrInvalidCiphertext
+	if k.BitLen() == 1 { // k = ±1: nothing to exponentiate
+		base := new(big.Int).Set(c.C)
+		if k.Sign() < 0 {
+			if base.ModInverse(base, pk.N2) == nil {
+				return nil, ErrInvalidCiphertext
+			}
 		}
-	}
-	if k.BitLen() == 1 { // k = ±1: nothing left to exponentiate
 		return &Ciphertext{C: base}, nil
 	}
-	exp := new(big.Int).Abs(k)
+	s := GetScratch()
+	defer s.Put()
+	base := c.C
+	if k.Sign() < 0 {
+		inv := s.Int()
+		if inv.ModInverse(c.C, pk.N2) == nil {
+			return nil, ErrInvalidCiphertext
+		}
+		base = inv
+	}
+	exp := s.Int().Abs(k)
 	return &Ciphertext{C: modExp(base, exp, pk.N2)}, nil
 }
 
@@ -348,29 +408,41 @@ func (pk *PublicKey) Rerandomize(random io.Reader, c *Ciphertext) (*Ciphertext, 
 
 // Decrypt recovers the signed plaintext using the CRT-accelerated path.
 func (sk *PrivateKey) Decrypt(c *Ciphertext) (*big.Int, error) {
+	s := GetScratch()
+	defer s.Put()
+	return sk.DecryptScratch(s, c)
+}
+
+// DecryptScratch is Decrypt with caller-provided scratch: every temporary
+// of the CRT path comes from s, so batch decryption loops holding one
+// arena per worker run the whole recovery with a single allocation (the
+// returned plaintext, which outlives the arena by design).
+func (sk *PrivateKey) DecryptScratch(s *Scratch, c *Ciphertext) (*big.Int, error) {
 	if err := sk.validate(c); err != nil {
 		return nil, err
 	}
 	// m_p = L_p(c^{p-1} mod p²)·h_p mod p, likewise mod q, then CRT.
-	cp := new(big.Int).Exp(c.C, sk.pMinusOne, sk.p2)
-	mp := lFunc(cp, sk.p)
+	cp := s.Int().Exp(c.C, sk.pMinusOne, sk.p2)
+	mp := s.Int().Sub(cp, one)
+	mp.Div(mp, sk.p)
 	mp.Mul(mp, sk.hp)
 	mp.Mod(mp, sk.p)
 
-	cq := new(big.Int).Exp(c.C, sk.qMinusOne, sk.q2)
-	mq := lFunc(cq, sk.q)
+	cq := s.Int().Exp(c.C, sk.qMinusOne, sk.q2)
+	mq := s.Int().Sub(cq, one)
+	mq.Div(mq, sk.q)
 	mq.Mul(mq, sk.hq)
 	mq.Mod(mq, sk.q)
 
 	// CRT: m = mp + p·((mq - mp)·pInvQ mod q).
-	diff := new(big.Int).Sub(mq, mp)
+	diff := s.Int().Sub(mq, mp)
 	diff.Mod(diff, sk.q)
 	diff.Mul(diff, sk.pInvQ)
 	diff.Mod(diff, sk.q)
 	m := new(big.Int).Mul(diff, sk.p)
 	m.Add(m, mp)
 
-	return sk.DecodeSigned(m), nil
+	return sk.decodeSignedInPlace(s.Int(), m), nil
 }
 
 // DecryptTextbook recovers the plaintext via the original L-function method;

@@ -166,7 +166,9 @@ func (w *Workers) runBatch(n int, f func(i int) error) error {
 func (sk *PrivateKey) DecryptBatch(w *Workers, cts []*Ciphertext) ([]*big.Int, error) {
 	out := make([]*big.Int, len(cts))
 	err := w.runBatch(len(cts), func(i int) error {
-		m, err := sk.Decrypt(cts[i])
+		s := GetScratch()
+		defer s.Put()
+		m, err := sk.DecryptScratch(s, cts[i])
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pooled frame buffers: every payload that crosses a Conn in the
+// steady-state window loop — masked shares, fixed-width ciphertexts, role
+// bytes, ratio vectors — is short-lived and of a handful of recurring
+// sizes, which makes per-message make([]byte, …) pure allocator churn. The
+// frame pool recycles those buffers through size-classed sync.Pools
+// (powers of two from 64 B to 1 MiB), so a window's wire traffic settles
+// into zero steady-state allocations.
+//
+// Ownership contract (the zero-copy hand-off rules documented on Conn):
+//
+//   - GetFrame(n) hands the caller exclusive ownership of a length-n buffer
+//     with UNSPECIFIED contents — callers must overwrite every byte they
+//     later read;
+//   - PutFrame(b) returns ownership to the pool. It must be called at most
+//     once per buffer, only by the current owner, and never while any other
+//     reference to the buffer is live — a double put is a data race that
+//     `go test -race` will catch at the point of reuse;
+//   - PutFrame accepts any slice but silently drops those it does not
+//     recognize as pool-shaped (capacity not an exact in-range power of
+//     two), so handing it a payload of unknown provenance is always safe:
+//     worst case the buffer falls back to the garbage collector, which is
+//     exactly the pre-pool behaviour.
+const (
+	frameClassMin = 6  // 64 B — smaller frames round up
+	frameClassMax = 20 // 1 MiB — larger frames bypass the pool
+)
+
+// frameBox carries a pooled buffer through sync.Pool without boxing the
+// slice header on every Put (a *frameBox is a single word in an interface).
+// Empty boxes recirculate through boxPool so the steady state allocates
+// neither buffers nor boxes.
+type frameBox struct{ buf []byte }
+
+var (
+	framePools [frameClassMax + 1]sync.Pool
+	boxPool    = sync.Pool{New: func() any { return new(frameBox) }}
+)
+
+// GetFrame returns a buffer of length n with unspecified contents, owned
+// exclusively by the caller until handed off or returned with PutFrame.
+// n ≤ 0 returns nil; oversized requests fall back to a plain allocation
+// (PutFrame will ignore them).
+func GetFrame(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	c := frameClassMin
+	if n > 1<<frameClassMin {
+		c = bits.Len(uint(n - 1))
+		if c > frameClassMax {
+			return make([]byte, n)
+		}
+	}
+	if v := framePools[c].Get(); v != nil {
+		f := v.(*frameBox)
+		buf := f.buf
+		f.buf = nil
+		boxPool.Put(f)
+		return buf[:n]
+	}
+	return make([]byte, n, 1<<c)
+}
+
+// PutFrame returns a buffer obtained from GetFrame to the pool. Slices the
+// pool does not recognize are dropped for the garbage collector, so calling
+// it on any received payload is safe; calling it twice on the same pooled
+// buffer is not (see the ownership contract above).
+func PutFrame(b []byte) {
+	c := cap(b)
+	if c < 1<<frameClassMin || c&(c-1) != 0 {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1
+	if cls > frameClassMax {
+		return
+	}
+	f := boxPool.Get().(*frameBox)
+	f.buf = b[:0]
+	framePools[cls].Put(f)
+}

@@ -76,6 +76,11 @@ type memConn struct {
 
 var _ Conn = (*memConn)(nil)
 
+// sendNeverBlocks marks the in-memory endpoint for SendNeverBlocks: a bus
+// Send is a mailbox push under a briefly-held mutex, never a wait on the
+// receiver.
+func (c *memConn) sendNeverBlocks() {}
+
 func (c *memConn) Party() string { return c.party }
 
 func (c *memConn) Send(ctx context.Context, to, tag string, payload []byte) error {
@@ -86,8 +91,12 @@ func (c *memConn) Send(ctx context.Context, to, tag string, payload []byte) erro
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownParty, to)
 	}
-	// Copy the payload: senders are free to reuse buffers.
-	msg := Message{From: c.party, To: to, Tag: tag, Payload: append([]byte(nil), payload...)}
+	// Copy the payload into a pooled frame: senders are free to reuse their
+	// buffers the moment Send returns, and the receiver takes ownership of
+	// the pooled copy (it may PutFrame it after decoding — see Conn).
+	buf := GetFrame(len(payload))
+	copy(buf, payload)
+	msg := Message{From: c.party, To: to, Tag: tag, Payload: buf}
 	if err := dst.mbox.push(msg); err != nil {
 		return fmt.Errorf("transport: send to %q: %w", to, err)
 	}

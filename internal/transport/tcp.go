@@ -242,7 +242,8 @@ func writeFrame(w io.Writer, msg Message) error {
 	if total > maxFrameSize {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", total)
 	}
-	buf := make([]byte, 4+total)
+	buf := GetFrame(4 + total)
+	defer PutFrame(buf)
 	binary.BigEndian.PutUint32(buf[0:], uint32(total))
 	binary.BigEndian.PutUint16(buf[4:], uint16(len(fromB)))
 	binary.BigEndian.PutUint16(buf[6:], uint16(len(toB)))
@@ -266,7 +267,8 @@ func readFrame(r io.Reader) (Message, error) {
 	if total < 6 || total > maxFrameSize {
 		return Message{}, fmt.Errorf("transport: bad frame length %d", total)
 	}
-	body := make([]byte, total)
+	body := GetFrame(int(total))
+	defer PutFrame(body)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, err
 	}
@@ -283,6 +285,10 @@ func readFrame(r io.Reader) (Message, error) {
 	off += toLen
 	tag := string(body[off : off+tagLen])
 	off += tagLen
-	payload := body[off:]
+	// The payload gets its own pooled frame (ownership passes to the
+	// receiver, who may PutFrame it after decoding); the transient body
+	// frame is recycled here.
+	payload := GetFrame(len(body) - off)
+	copy(payload, body[off:])
 	return Message{From: from, To: to, Tag: tag, Payload: payload}, nil
 }

@@ -145,13 +145,28 @@ func WireSize(from, to, tag string, payload []byte) int {
 // Send may be called from any goroutine. Recv must not be called
 // concurrently for the same (from, tag) pair; the protocol code in this
 // repository always runs a party's control flow on a single goroutine.
+//
+// Buffer ownership (the zero-copy hand-off rules; see also GetFrame):
+//
+//   - Send does not take ownership of payload: the sender may reuse or
+//     PutFrame its buffer as soon as Send returns. Transports that must
+//     retain bytes (the in-memory bus queues, the TCP writer) copy into
+//     pooled frames internally.
+//   - Recv and RecvAny transfer exclusive ownership of the returned payload
+//     to the caller. Once the caller has decoded it, it may hand the buffer
+//     back to the frame pool with PutFrame — every transport in this
+//     package delivers pool-shaped buffers, which is what keeps the
+//     steady-state window loop allocation-free. Dropping the payload
+//     without PutFrame is always correct too, just garbage-collected.
 type Conn interface {
 	// Party returns the ID of the local party.
 	Party() string
-	// Send delivers payload to the peer under tag.
+	// Send delivers payload to the peer under tag. Ownership of payload
+	// stays with the caller (see the buffer ownership rules above).
 	Send(ctx context.Context, to, tag string, payload []byte) error
 	// Recv blocks until a message from the given peer with the given tag
-	// arrives (or ctx is done) and returns its payload.
+	// arrives (or ctx is done) and returns its payload, whose ownership
+	// passes to the caller (it may PutFrame it after decoding).
 	Recv(ctx context.Context, from, tag string) ([]byte, error)
 	// RecvAny blocks until a message with the given tag arrives from any of
 	// the listed peers and returns the sender with its payload — the
@@ -172,6 +187,28 @@ var (
 	ErrUnknownParty = errors.New("transport: unknown destination party")
 )
 
+// SendNeverBlocks reports whether the connection's Send path enqueues
+// without ever waiting on the peer — true for the in-memory bus (mailbox
+// push under a briefly-held lock), false for socket transports, whose
+// writes can stall on a slow receiver. Wrapper connections (fault
+// injectors, the network-emulation layer — which prices messages on a
+// virtual clock without wall-clock sleeps) are unwrapped through their
+// Inner method. Callers use this to fan a broadcast out sequentially
+// instead of paying one goroutine per peer when no send can block.
+func SendNeverBlocks(c Conn) bool {
+	for c != nil {
+		if _, ok := c.(interface{ sendNeverBlocks() }); ok {
+			return true
+		}
+		w, ok := c.(interface{ Inner() Conn })
+		if !ok {
+			return false
+		}
+		c = w.Inner()
+	}
+	return false
+}
+
 // inboxKey identifies a buffered queue.
 type inboxKey struct {
 	from string
@@ -180,16 +217,24 @@ type inboxKey struct {
 
 // mailbox demultiplexes an incoming message stream into per-(from, tag)
 // queues with blocking receive. It is the shared core of both transports.
+//
+// The steady-state path is allocation-lean: wake-up channels are cap-1
+// buffered tokens recycled through a freelist instead of closed-and-remade
+// per blocking receive, and drained queue slices are recycled so a
+// window's worth of (from, tag) keys reuses the same backing arrays.
 type mailbox struct {
 	mu     sync.Mutex
 	queues map[inboxKey][][]byte
-	wait   map[inboxKey]chan struct{} // signalled on push
+	wait   map[inboxKey]chan struct{} // signalled (token send) on push
 	// anyWait is a broadcast channel for popAny waiters, whose wake-up key
 	// is not known in advance. It is created lazily when a popAny caller is
 	// about to block and closed-and-cleared by the next push, so the
 	// ordinary per-message path pays nothing for it.
 	anyWait chan struct{}
 	closed  bool
+
+	waitFree []chan struct{} // recycled wake-up channels
+	qFree    [][][]byte      // recycled empty queue slices
 }
 
 func newMailbox() *mailbox {
@@ -199,6 +244,14 @@ func newMailbox() *mailbox {
 	}
 }
 
+// Freelist bounds: beyond these, recycled channels and queue slices fall
+// back to the garbage collector. Sized for one party's worst-case fan-in
+// across the windows in flight.
+const (
+	mailboxWaitFreeMax  = 32
+	mailboxQueueFreeMax = 64
+)
+
 func (mb *mailbox) push(m Message) error {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -206,9 +259,17 @@ func (mb *mailbox) push(m Message) error {
 		return ErrClosed
 	}
 	k := inboxKey{from: m.From, tag: m.Tag}
-	mb.queues[k] = append(mb.queues[k], m.Payload)
+	q, ok := mb.queues[k]
+	if !ok && len(mb.qFree) > 0 {
+		q = mb.qFree[len(mb.qFree)-1]
+		mb.qFree = mb.qFree[:len(mb.qFree)-1]
+	}
+	mb.queues[k] = append(q, m.Payload)
 	if ch, ok := mb.wait[k]; ok {
-		close(ch)
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
 		delete(mb.wait, k)
 	}
 	if mb.anyWait != nil {
@@ -218,34 +279,80 @@ func (mb *mailbox) push(m Message) error {
 	return nil
 }
 
+// takeLocked removes the queue's head. The caller holds mb.mu and has
+// checked len(q) > 0. Drained queues are recycled through qFree.
+func (mb *mailbox) takeLocked(k inboxKey, q [][]byte) []byte {
+	payload := q[0]
+	q[0] = nil // release the payload reference from the recycled array
+	if len(q) == 1 {
+		delete(mb.queues, k)
+		if len(mb.qFree) < mailboxQueueFreeMax {
+			mb.qFree = append(mb.qFree, q[:0])
+		}
+	} else {
+		mb.queues[k] = q[1:]
+	}
+	return payload
+}
+
+// waitChLocked returns a cap-1 wake-up token channel, recycled when
+// possible. The caller holds mb.mu.
+func (mb *mailbox) waitChLocked() chan struct{} {
+	if n := len(mb.waitFree); n > 0 {
+		ch := mb.waitFree[n-1]
+		mb.waitFree = mb.waitFree[:n-1]
+		return ch
+	}
+	return make(chan struct{}, 1)
+}
+
+// releaseWait deregisters ch from key k (if still registered), drains any
+// pending token, and recycles the channel.
+func (mb *mailbox) releaseWait(k inboxKey, ch chan struct{}) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.wait[k] == ch {
+		delete(mb.wait, k)
+	}
+	select {
+	case <-ch:
+	default:
+	}
+	if len(mb.waitFree) < mailboxWaitFreeMax {
+		mb.waitFree = append(mb.waitFree, ch)
+	}
+}
+
 func (mb *mailbox) pop(ctx context.Context, from, tag string) ([]byte, error) {
 	k := inboxKey{from: from, tag: tag}
+	var ch chan struct{}
 	for {
 		mb.mu.Lock()
 		if q := mb.queues[k]; len(q) > 0 {
-			payload := q[0]
-			if len(q) == 1 {
-				delete(mb.queues, k)
-			} else {
-				mb.queues[k] = q[1:]
-			}
+			payload := mb.takeLocked(k, q)
 			mb.mu.Unlock()
+			if ch != nil {
+				mb.releaseWait(k, ch)
+			}
 			return payload, nil
 		}
 		if mb.closed {
 			mb.mu.Unlock()
+			if ch != nil {
+				mb.releaseWait(k, ch)
+			}
 			return nil, ErrClosed
 		}
-		ch, ok := mb.wait[k]
-		if !ok {
-			ch = make(chan struct{})
-			mb.wait[k] = ch
+		if ch == nil {
+			ch = mb.waitChLocked()
 		}
+		mb.wait[k] = ch
 		mb.mu.Unlock()
 
 		select {
 		case <-ch:
 		case <-ctx.Done():
+			mb.releaseWait(k, ch)
 			return nil, fmt.Errorf("transport: recv from %q tag %q: %w", from, tag, ctx.Err())
 		}
 	}
@@ -264,12 +371,7 @@ func (mb *mailbox) popAny(ctx context.Context, tag string, froms []string) (stri
 		for _, from := range froms {
 			k := inboxKey{from: from, tag: tag}
 			if q := mb.queues[k]; len(q) > 0 {
-				payload := q[0]
-				if len(q) == 1 {
-					delete(mb.queues, k)
-				} else {
-					mb.queues[k] = q[1:]
-				}
+				payload := mb.takeLocked(k, q)
 				mb.mu.Unlock()
 				return from, payload, nil
 			}
@@ -300,7 +402,10 @@ func (mb *mailbox) close() {
 	}
 	mb.closed = true
 	for k, ch := range mb.wait {
-		close(ch)
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
 		delete(mb.wait, k)
 	}
 	if mb.anyWait != nil {
