@@ -128,6 +128,7 @@ type options struct {
 	network   string
 	tiers     string
 	rssBudget int
+	storePath string
 	cpuProf   string
 	memProf   string
 	tracePath string
@@ -156,6 +157,7 @@ func run(args []string) error {
 	fs.StringVar(&opt.network, "net", "", "restrict the net figure to one topology preset (lan, metro, wan, cellular, lossy); empty sweeps all")
 	fs.StringVar(&opt.tiers, "tiers", "8,4", "tier fanouts for the scale figure (coalitions per district, districts per region, …)")
 	fs.IntVar(&opt.rssBudget, "rss-budget-mb", 0, "fail the scale figure when the process RSS high-water mark exceeds this many MiB (0 = no gate)")
+	fs.StringVar(&opt.storePath, "store", "", "persist the live figure's run to this WAL file (resumable with pem.Resume)")
 	fs.StringVar(&opt.cpuProf, "cpuprofile", "", "write a CPU profile covering the selected figures to this file")
 	fs.StringVar(&opt.memProf, "memprofile", "", "write a heap profile (after a final GC) to this file")
 	fs.StringVar(&opt.tracePath, "trace", "", "write a runtime execution trace covering the selected figures to this file")
@@ -1020,8 +1022,21 @@ func figLive(o options) error {
 		blocks = 1
 	}
 
+	var wal *pem.WALStore
+	if o.storePath != "" {
+		var err error
+		if wal, err = pem.OpenWAL(o.storePath); err != nil {
+			return err
+		}
+		defer wal.Close()
+		if rec := wal.Recovered(); rec.Truncated {
+			fmt.Fprintf(os.Stderr, "pem-bench: store recovery: dropped %d torn bytes, kept %d records\n",
+				rec.DroppedBytes, rec.Records)
+		}
+	}
+
 	seed := o.seed
-	lg, err := pem.NewLiveGrid(pem.LiveGridConfig{
+	lgc := pem.LiveGridConfig{
 		Market: pem.Config{
 			KeyBits:            keyBits,
 			Seed:               &seed,
@@ -1037,7 +1052,11 @@ func figLive(o options) error {
 			DepartRate: o.churn * 0.6,
 			FailRate:   o.churn * 0.4,
 		},
-	}, pem.FleetConfig{
+	}
+	if wal != nil {
+		lgc.Store = wal
+	}
+	lg, err := pem.NewLiveGrid(lgc, pem.FleetConfig{
 		Coalitions:        blocks,
 		HomesPerCoalition: homes / blocks,
 		Windows:           windows,
@@ -1101,6 +1120,9 @@ func figLive(o options) error {
 	fmt.Printf("positions: %d active, %d settled leavers; conservation: energy %.3g kWh, payments %.3g cents\n",
 		active, frozen, res.EnergyImbalanceKWh, res.PaymentImbalanceCents)
 	fmt.Println("(re-key = per-epoch key provisioning for every coalition; steady-state excludes it)")
+	if wal != nil {
+		fmt.Printf("store: run persisted to %s (resumable with pem.Resume)\n", wal.Path())
+	}
 	return o.flushCSV(rows)
 }
 

@@ -33,6 +33,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 20200425, "synthetic trace seed")
 	private := fs.Bool("private", false, "run the cryptographic protocols instead of the plaintext clearing")
 	keyBits := fs.Int("keybits", 1024, "Paillier key size for -private")
+	storePath := fs.String("store", "", "persist the -private run's ledger and key fingerprints to this WAL file")
 	export := fs.String("export", "", "write the synthetic trace to this CSV file and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,7 +57,10 @@ func run(args []string) error {
 	}
 
 	if *private {
-		return runPrivate(tr, *keyBits, *seed)
+		return runPrivate(tr, *keyBits, *seed, *storePath)
+	}
+	if *storePath != "" {
+		return errors.New("-store needs -private (the plaintext simulation commits nothing)")
 	}
 	return runPlaintext(tr)
 }
@@ -101,8 +105,22 @@ func runPlaintext(tr *pem.Trace) error {
 	return nil
 }
 
-func runPrivate(tr *pem.Trace, keyBits int, seed int64) error {
-	m, err := pem.NewMarket(pem.Config{KeyBits: keyBits, Seed: &seed}, tr.Agents())
+func runPrivate(tr *pem.Trace, keyBits int, seed int64, storePath string) error {
+	cfg := pem.Config{KeyBits: keyBits, Seed: &seed}
+	var wal *pem.WALStore
+	if storePath != "" {
+		var err error
+		if wal, err = pem.OpenWAL(storePath); err != nil {
+			return err
+		}
+		defer wal.Close()
+		if rec := wal.Recovered(); rec.Truncated {
+			fmt.Fprintf(os.Stderr, "pem-market: store recovery: dropped %d torn bytes, kept %d records\n",
+				rec.DroppedBytes, rec.Records)
+		}
+		cfg.Store = wal
+	}
+	m, err := pem.NewMarket(cfg, tr.Agents())
 	if err != nil {
 		return err
 	}
@@ -160,6 +178,12 @@ func runPrivate(tr *pem.Trace, keyBits int, seed int64) error {
 			return fmt.Errorf("ledger verification: %w", err)
 		}
 		fmt.Printf("  ledger: %d blocks, chain verified, head %s\n", l.Len(), headHash(l))
+	}
+	if wal != nil {
+		if err := wal.Sync(); err != nil {
+			return err
+		}
+		fmt.Printf("  store: ledger and key fingerprints persisted to %s\n", wal.Path())
 	}
 	return nil
 }

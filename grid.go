@@ -110,6 +110,13 @@ type GridConfig struct {
 	// Tiers carries the per-tier outcomes. Empty means flat settlement,
 	// bit-identical to a grid without hierarchy.
 	Tiers []int
+	// Store, when set, persists each coalition's outcome as it completes —
+	// ledger blocks, key-material fingerprints and settlement aggregate,
+	// under the coalition's scope ("c00", "c01", …) — in partition order,
+	// before the streaming payload release. A store error aborts the run
+	// like a sink error. Market.Store is ignored in a grid (coalitions
+	// persist through this field instead).
+	Store Store `json:"-"`
 }
 
 // Grid is a partitioned fleet ready to trade. Unlike Market (whose keys
@@ -196,5 +203,6 @@ func (g *Grid) gridConfig() grid.Config {
 		MaxConcurrent: g.cfg.MaxConcurrentCoalitions,
 		MinCoalition:  g.cfg.MinCoalition,
 		Tiers:         g.cfg.Tiers,
+		Store:         g.cfg.Store,
 	}
 }

@@ -462,6 +462,31 @@ func (e *Engine) PoolStats() paillier.PoolStats {
 // Parties returns the party handles (tests use this for fault injection).
 func (e *Engine) Parties() []*Party { return e.parties }
 
+// KeyFingerprint identifies one party's provisioned Paillier key material
+// by public data only: the SHA-256 of its public modulus. Fingerprints are
+// what the durability layer records per (epoch, coalition) — enough to
+// audit that every epoch re-keyed to fresh material, while the private
+// keys never leave their parties.
+type KeyFingerprint struct {
+	// Party is the key holder's agent ID.
+	Party string
+	// Digest is the SHA-256 of the party's public modulus bytes.
+	Digest [32]byte
+}
+
+// KeyFingerprints returns the engine's provisioned key fingerprints,
+// sorted by party ID. A seeded engine's fingerprints are deterministic;
+// two epochs of the same coalition never share one (re-keying is real —
+// see the live-grid re-key tests).
+func (e *Engine) KeyFingerprints() []KeyFingerprint {
+	out := make([]KeyFingerprint, len(e.parties))
+	for i, p := range e.parties {
+		out[i] = KeyFingerprint{Party: p.agent.ID, Digest: sha256.Sum256(p.key.N.Bytes())}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Party < out[j].Party })
+	return out
+}
+
 // beginWindow registers one window execution with the session lifecycle.
 // It fails once Close has been called, so a closing engine stops admitting
 // new windows while the ones already in flight drain.

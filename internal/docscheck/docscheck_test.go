@@ -30,6 +30,7 @@ var packages = []string{
 	"internal/core",
 	"internal/transport",
 	"internal/ledger",
+	"internal/store",
 }
 
 // repoRoot locates the repository root from this test file's path.

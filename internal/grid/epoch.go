@@ -2,6 +2,8 @@ package grid
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -12,6 +14,7 @@ import (
 	"github.com/pem-go/pem/internal/dataset"
 	"github.com/pem-go/pem/internal/market"
 	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/store"
 	"github.com/pem-go/pem/internal/transport"
 )
 
@@ -53,6 +56,21 @@ type LiveConfig struct {
 	// simulation's memory is bounded by one epoch, not the run length;
 	// set RetainResults to audit per-window outcomes after the run.
 	RetainResults bool
+	// Resume, when set, restarts the simulation from a durable checkpoint:
+	// the position book is restored bit-exactly from Resume.Positions and
+	// every epoch up to and including Resume.Epoch is skipped. The
+	// evolution and configuration must match the checkpointed run — the
+	// per-epoch engine and partition seeds derive independently from the
+	// base seeds, so the remaining epochs replay bit-identically to an
+	// uninterrupted run. The returned LiveResult's traffic and timing
+	// counters cover only the resumed epochs; positions and conservation
+	// cover the whole simulation.
+	Resume *store.Checkpoint
+	// CheckpointMeta is an opaque caller blob recorded (with its SHA-256)
+	// in every checkpoint the run writes. The pem facade serializes its
+	// public configuration here so a later Resume can rebuild the run from
+	// the store file alone and refuse a mismatched configuration.
+	CheckpointMeta []byte
 }
 
 // Validate checks the live configuration, including that the partition
@@ -203,6 +221,11 @@ func streamLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution, sin
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Resume != nil {
+		if err := book.Restore(cfg.Resume.Positions); err != nil {
+			return nil, err
+		}
+	}
 
 	// Shared infrastructure for the whole simulation: one bus, one bounded
 	// crypto pool. Epochs re-key over it — fresh keys, fresh scopes — but
@@ -215,6 +238,13 @@ func streamLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution, sin
 	res := &LiveResult{}
 	var firstErr error
 	for _, ef := range evo.Epochs {
+		// A resumed run replays the evolution from its start — the fleet
+		// history is seed-derived — but the checkpointed epochs' effects are
+		// already in the restored book, so they are skipped whole: churn,
+		// trading and checkpointing alike.
+		if cfg.Resume != nil && ef.Epoch <= cfg.Resume.Epoch {
+			continue
+		}
 		if err := applyBoundary(book, &ef); err != nil {
 			firstErr = err
 			break
@@ -231,6 +261,9 @@ func streamLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution, sin
 		}
 		if err == nil && sink != nil {
 			err = sink(er)
+		}
+		if err == nil {
+			err = persistEpochBoundary(cfg, book, &ef, er)
 		}
 		// The epoch's flows are in the book and the sink has seen the full
 		// payload; from here only the fold is needed, so drop the heavy
@@ -257,6 +290,49 @@ func streamLive(ctx context.Context, cfg LiveConfig, evo *dataset.Evolution, sin
 		res.WindowsPerSec = float64(res.Windows) / res.Trading.Seconds()
 	}
 	return res, firstErr
+}
+
+// persistEpochBoundary durably checkpoints a completed epoch: the full
+// position book first, then the checkpoint record marking the epoch done.
+// It runs after the epoch's flows are folded and the sink has delivered,
+// but before the payload release, so a crash at any point resumes from the
+// last completed epoch with nothing observable lost. PutCheckpoint syncs,
+// which makes the write order a commit point — a torn checkpoint write
+// leaves the previous epoch's resume point intact. A nil store is a no-op.
+func persistEpochBoundary(cfg LiveConfig, book *market.PositionBook, ef *dataset.EpochFleet, er *EpochResult) error {
+	st := cfg.Grid.Store
+	if st == nil {
+		return nil
+	}
+	positions := book.Snapshot()
+	if err := st.UpsertPositions(positions); err != nil {
+		return fmt.Errorf("store: epoch %d positions: %w", ef.Epoch, err)
+	}
+	cp := store.Checkpoint{
+		Epoch:     ef.Epoch,
+		Roster:    make([]string, len(ef.Trace.Homes)),
+		Positions: positions,
+		Config:    cfg.CheckpointMeta,
+	}
+	for i, h := range ef.Trace.Homes {
+		cp.Roster[i] = h.ID
+	}
+	for i := range er.Coalitions {
+		if cr := &er.Coalitions[i]; cr.ChainHead != "" {
+			cp.ChainHeads = append(cp.ChainHeads, store.ChainHead{Scope: cr.Name, Head: cr.ChainHead})
+		}
+	}
+	if s := cfg.Grid.Engine.Seed; s != nil {
+		cp.Seed = *s
+	}
+	if len(cfg.CheckpointMeta) > 0 {
+		sum := sha256.Sum256(cfg.CheckpointMeta)
+		cp.ConfigHash = hex.EncodeToString(sum[:])
+	}
+	if err := st.PutCheckpoint(cp); err != nil {
+		return fmt.Errorf("store: epoch %d checkpoint: %w", ef.Epoch, err)
+	}
+	return nil
 }
 
 // applyBoundary applies one epoch's churn events to the position book:
@@ -446,6 +522,7 @@ func rekeyEpoch(ctx context.Context, cfg Config, bus *transport.Bus, workers *pa
 				cr.Err = fmt.Errorf("rekey: %w", err)
 				return
 			}
+			cr.Keys = eng.KeyFingerprints()
 			cr.Rekey = time.Since(begin)
 			rekeyed[i] = rekeyedCoalition{engine: eng, sub: sub}
 		}(i, &er.Coalitions[i])
@@ -463,14 +540,17 @@ func rekeyEpoch(ctx context.Context, cfg Config, bus *transport.Bus, workers *pa
 // tradeEpoch runs every keyed coalition's trading day concurrently under
 // the MaxConcurrent budget, through the supervisor's fail-fast launcher: a
 // failing coalition cancels only itself, later launches stop, in-flight
-// days drain. Folded slots (nil engine) are not eligible for launch.
+// days drain. Folded slots (nil engine) are not eligible for launch but
+// still flow through delivery, so with a store attached their grid-tariff
+// aggregates persist alongside the completed coalitions' chains, in
+// partition order.
 func tradeEpoch(ctx context.Context, cfg Config, bus *transport.Bus, er *EpochResult, rekeyed []rekeyedCoalition) error {
 	return launchCoalitions(ctx, cfg.MaxConcurrent, er.Coalitions,
 		func(i int) bool { return rekeyed[i].engine != nil },
 		func(runCtx context.Context, i int, cr *CoalitionRun) {
 			tradeCoalition(runCtx, cfg, bus, cr, rekeyed[i])
 		},
-		nil)
+		func(cr *CoalitionRun) error { return persistCoalition(cfg.Store, cr) })
 }
 
 // tradeCoalition runs one keyed coalition's trading day through its

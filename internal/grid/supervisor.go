@@ -12,6 +12,7 @@ import (
 	"github.com/pem-go/pem/internal/ledger"
 	"github.com/pem-go/pem/internal/market"
 	"github.com/pem-go/pem/internal/paillier"
+	"github.com/pem-go/pem/internal/store"
 	"github.com/pem-go/pem/internal/transport"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	// market.SettleTiers. Empty means flat: every coalition settles
 	// directly at the tariff, bit-identical to the pre-hierarchy grid.
 	Tiers []int
+	// Store, when set, persists each coalition's outcome as it streams —
+	// its ledger blocks, key-material fingerprints and settlement aggregate
+	// (folded coalitions persist their grid-tariff aggregate too) — in
+	// delivery order, before the streaming payload release. A store error
+	// aborts the run like a sink error: durability failures must not pass
+	// silently. Nil (the default) keeps runs purely in-memory.
+	Store store.Store
 }
 
 // DefaultMinCoalition is the default roster floor for running a private
@@ -141,6 +149,12 @@ type CoalitionRun struct {
 	// batch runs without retaining the ledger itself (empty for folded and
 	// failed coalitions).
 	ChainHead string
+	// Keys are the coalition's provisioned key-material fingerprints
+	// (public-modulus digests, sorted by party), captured at engine
+	// provisioning so the durability layer can record per-(epoch,
+	// coalition) re-keying. Nil for folded and failed coalitions; released
+	// with the rest of the heavy payload on streaming runs.
+	Keys []core.KeyFingerprint
 	// Rekey is the time spent provisioning the coalition's engine — fresh
 	// Paillier key material for every member plus transport registration.
 	// The live grid pays it once per (epoch, coalition); reporting it
@@ -189,6 +203,48 @@ func (cr *CoalitionRun) releasePayload() {
 	cr.Ledger = nil
 	cr.Members = nil
 	cr.IDs = nil
+	cr.Keys = nil
+}
+
+// persistCoalition writes one settled coalition's durable records: every
+// ledger block in chain order (genesis included — appending it resets the
+// scope on a resumed replay), the key-material fingerprints, and the O(1)
+// settlement aggregate. Called from the delivery path, so records land in
+// partition order and strictly before the streaming payload release. A nil
+// store is a no-op.
+func persistCoalition(st store.Store, cr *CoalitionRun) error {
+	if st == nil {
+		return nil
+	}
+	if cr.Ledger != nil {
+		for i := 0; i < cr.Ledger.Len(); i++ {
+			blk, err := cr.Ledger.Block(i)
+			if err != nil {
+				return err
+			}
+			if err := st.AppendBlock(cr.Name, blk); err != nil {
+				return fmt.Errorf("store: coalition %s block %d: %w", cr.Name, i, err)
+			}
+		}
+	}
+	for _, fp := range cr.Keys {
+		rec := store.KeyRecord{Scope: cr.Name, Party: fp.Party, Fingerprint: append([]byte(nil), fp.Digest[:]...)}
+		if err := st.PutKeyMaterial(rec); err != nil {
+			return fmt.Errorf("store: coalition %s key material: %w", cr.Name, err)
+		}
+	}
+	agg := store.Aggregate{
+		Scope:     cr.Name,
+		Windows:   cr.Windows,
+		ImportKWh: cr.Residual.ImportKWh,
+		ExportKWh: cr.Residual.ExportKWh,
+		ChainHead: cr.ChainHead,
+		Folded:    cr.Folded,
+	}
+	if err := st.PutAggregate(agg); err != nil {
+		return fmt.Errorf("store: coalition %s aggregate: %w", cr.Name, err)
+	}
+	return nil
 }
 
 // Result is the outcome of a full grid run.
@@ -284,6 +340,12 @@ func execute(ctx context.Context, cfg Config, tr *dataset.Trace, parts [][]int, 
 			runCoalition(runCtx, cfg, bus, workers, tr, cr)
 		},
 		func(cr *CoalitionRun) error {
+			// Durability first: once the sink has seen a coalition, its
+			// blocks and aggregate are already down, so a crash after the
+			// sink call never loses an observed outcome.
+			if err := persistCoalition(cfg.Store, cr); err != nil {
+				return err
+			}
 			if sink != nil {
 				if err := sink(cr); err != nil {
 					return err
@@ -501,6 +563,7 @@ func runCoalition(ctx context.Context, cfg Config, bus *transport.Bus, workers *
 		cr.Err = fmt.Errorf("provision: %w", err)
 		return
 	}
+	cr.Keys = eng.KeyFingerprints()
 	cr.Rekey = time.Since(begin)
 	defer eng.Close()
 

@@ -138,6 +138,21 @@ func (l *Ledger) Append(window int, price float64, trades []TradeRecord) (Block,
 	return blk, nil
 }
 
+// FromBlocks reconstructs a ledger from a persisted chain — genesis first,
+// in append order — verifying every hash and link before accepting it, so
+// a store-recovered chain is exactly as trustworthy as a live one. Returns
+// ErrCorrupted (wrapped) when the chain does not verify.
+func FromBlocks(blocks []Block) (*Ledger, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("%w: empty chain", ErrCorrupted)
+	}
+	l := &Ledger{blocks: append([]Block(nil), blocks...)}
+	if err := l.Verify(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
 // Len returns the chain height including genesis.
 func (l *Ledger) Len() int {
 	l.mu.RLock()

@@ -214,6 +214,34 @@ const (
 	exitFail   = "fail"
 )
 
+// Snapshot returns the book's full per-agent state, sorted by agent ID —
+// the durable representation a store checkpoints at epoch boundaries. It
+// is Positions under a name that pairs with Restore; the copies share no
+// state with the book.
+func (b *PositionBook) Snapshot() []AgentPosition { return b.Positions() }
+
+// Restore replaces the book's state with a snapshot, bit-exactly: every
+// float lands unchanged, so a resumed simulation accumulates onto exactly
+// the state the checkpointed one held. The tariff params are not part of
+// the snapshot — the caller reconstructs the book from its configuration
+// and restores positions into it. Duplicate or empty IDs are an error and
+// leave the book unchanged.
+func (b *PositionBook) Restore(positions []AgentPosition) error {
+	fresh := make(map[string]*AgentPosition, len(positions))
+	for _, p := range positions {
+		if p.ID == "" {
+			return errors.New("market: restore of position with empty agent ID")
+		}
+		if _, dup := fresh[p.ID]; dup {
+			return fmt.Errorf("market: restore with duplicate position for agent %q", p.ID)
+		}
+		cp := p
+		fresh[p.ID] = &cp
+	}
+	b.byID = fresh
+	return nil
+}
+
 // Position returns one agent's position.
 func (b *PositionBook) Position(id string) (AgentPosition, bool) {
 	p, ok := b.byID[id]
@@ -242,7 +270,10 @@ func (b *PositionBook) Positions() []AgentPosition {
 // legs are flows against the external grid account and are excluded by
 // construction.
 func (b *PositionBook) Conservation() (energyKWh, paymentCents float64) {
-	for _, p := range b.byID {
+	// Summed in agent-ID order, not map order: float addition is not
+	// associative, and the crash-recovery oracle compares a resumed run's
+	// imbalances to the reference's bit for bit.
+	for _, p := range b.Positions() {
 		energyKWh += p.Flows.SellKWh - p.Flows.BuyKWh
 		paymentCents += p.Flows.EarnedCents - p.Flows.PaidCents
 	}

@@ -82,11 +82,11 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 		random = rand.Reader
 	}
 	for {
-		p, err := rand.Prime(random, bits/2)
+		p, err := randomPrime(random, bits/2)
 		if err != nil {
 			return nil, fmt.Errorf("generate p: %w", err)
 		}
-		q, err := rand.Prime(random, bits-bits/2)
+		q, err := randomPrime(random, bits-bits/2)
 		if err != nil {
 			return nil, fmt.Errorf("generate q: %w", err)
 		}
@@ -99,6 +99,45 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 			continue
 		}
 		return key, nil
+	}
+}
+
+// randomPrime draws a prime of exactly the given bit length from random by
+// rejection sampling, like crypto/rand.Prime but without its deliberate
+// MaybeReadByte nondeterminism — that single conditionally-consumed byte
+// would make seeded key generation irreproducible, and the durability
+// layer's crash-recovery oracle replays runs bit-for-bit, key fingerprints
+// included. The top two candidate bits are set so p·q never comes up a bit
+// short.
+func randomPrime(random io.Reader, bits int) (*big.Int, error) {
+	if bits < 2 {
+		return nil, errors.New("paillier: prime size must be at least 2-bit")
+	}
+	b := uint(bits % 8)
+	if b == 0 {
+		b = 8
+	}
+	buf := make([]byte, (bits+7)/8)
+	p := new(big.Int)
+	for {
+		if _, err := io.ReadFull(random, buf); err != nil {
+			return nil, err
+		}
+		buf[0] &= uint8(int(1<<b) - 1)
+		if b >= 2 {
+			buf[0] |= 3 << (b - 2)
+		} else {
+			// b == 1: the top bit lives alone in buf[0].
+			buf[0] |= 1
+			if len(buf) > 1 {
+				buf[1] |= 0x80
+			}
+		}
+		buf[len(buf)-1] |= 1 // candidates must be odd
+		p.SetBytes(buf)
+		if p.ProbablyPrime(20) {
+			return p, nil
+		}
 	}
 }
 

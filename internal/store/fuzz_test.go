@@ -1,0 +1,82 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALReplay throws arbitrary bytes at the replay path: whatever is on
+// disk, OpenWAL must either recover a valid prefix or fail with a typed
+// error — never panic, never allocate unboundedly from a hostile length
+// prefix — and a store recovered from garbage must still be fully usable.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("PEM"))
+	f.Add([]byte("PEMWAL01"))
+	f.Add([]byte("PEMWAL01\x00\x00\x00\x03\xde\xad\xbe\xef\x01{}"))
+	f.Add([]byte("not a wal segment at all"))
+	// A real segment with one of every record type, as a mutation seed.
+	seedPath := filepath.Join(f.TempDir(), "seed.wal")
+	w, err := OpenWAL(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.PutAggregate(Aggregate{Scope: "c00", Windows: 1, ImportKWh: 2}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.PutKeyMaterial(KeyRecord{Scope: "c00", Party: "h0", Fingerprint: []byte{1}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.UpsertPositions(testChainPositions()); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.PutCheckpoint(walTestCheckpoint()); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.wal")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := OpenWAL(path)
+		if err != nil {
+			return // typed failure is a valid outcome; panics are the bug
+		}
+		defer w.Close()
+		// Whatever prefix survived must be fully readable and writable.
+		scopes, err := w.Scopes()
+		if err != nil {
+			return // ErrCorrupt on a CRC-colliding record is acceptable
+		}
+		for _, s := range scopes {
+			if _, err := w.Blocks(s); err != nil {
+				return
+			}
+		}
+		if _, err := w.Aggregates(); err != nil {
+			return
+		}
+		if _, err := w.Positions(); err != nil {
+			return
+		}
+		if _, err := w.KeyMaterial(); err != nil {
+			return
+		}
+		if _, _, err := w.LastCheckpoint(); err != nil {
+			t.Fatalf("cached checkpoint read failed after clean open: %v", err)
+		}
+		if err := w.PutAggregate(Aggregate{Scope: "post-recovery", Windows: 1}); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package pem
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 
@@ -92,6 +93,15 @@ type LiveGridConfig struct {
 	// simulation runs in the memory of one epoch; set this to audit
 	// per-window outcomes after the run.
 	RetainCoalitionResults bool
+	// Store, when set, makes the simulation durable: each coalition's
+	// blocks, key fingerprints and aggregate persist as it completes
+	// (scopes "e00-c00", …), the position book and an epoch checkpoint
+	// commit at every epoch boundary, and the run's own configuration is
+	// embedded in each checkpoint — so a killed simulation resumes from
+	// the last completed epoch with Resume, replaying the remaining epochs
+	// bit-identically when Market.Seed is set. A store error aborts the
+	// run. Market.Store is ignored in a live grid.
+	Store Store `json:"-"`
 	// Epochs is the number of trading days to simulate (required, ≥ 1).
 	Epochs int
 	// Churn configures the churn model applied at each epoch boundary.
@@ -106,6 +116,31 @@ type LiveGridConfig struct {
 type LiveGrid struct {
 	cfg grid.LiveConfig
 	evo *dataset.Evolution
+	// owned is the store Resume opened on the caller's behalf (nil for
+	// grids built with NewLiveGrid, whose caller owns its store).
+	owned Store
+}
+
+// ResumedEpoch returns the checkpoint epoch this grid resumes after, or −1
+// for a fresh (non-resumed) simulation. A resumed Run or Stream skips every
+// epoch up to and including it.
+func (lg *LiveGrid) ResumedEpoch() int {
+	if lg.cfg.Resume == nil {
+		return -1
+	}
+	return lg.cfg.Resume.Epoch
+}
+
+// Close releases the store a Resume opened for this grid. It is a no-op —
+// and the caller keeps ownership of its own store — for grids built with
+// NewLiveGrid.
+func (lg *LiveGrid) Close() error {
+	if lg.owned == nil {
+		return nil
+	}
+	st := lg.owned
+	lg.owned = nil
+	return st.Close()
 }
 
 // NewLiveGrid validates the config and synthesizes the fleet evolution:
@@ -132,6 +167,17 @@ func NewLiveGrid(cfg LiveGridConfig, fleet FleetConfig) (*LiveGrid, error) {
 		Partition:     grid.Strategy(cfg.Partition),
 		PartitionSeed: seed,
 		RetainResults: cfg.RetainCoalitionResults,
+	}
+	if cfg.Store != nil {
+		lcfg.Grid.Store = cfg.Store
+		// Embed the run's own configuration in every checkpoint so Resume
+		// can rebuild the simulation from the store file alone. Store
+		// fields carry `json:"-"`; everything else round-trips exactly.
+		meta, err := json.Marshal(resumeMeta{Live: cfg, Fleet: fleet})
+		if err != nil {
+			return nil, fmt.Errorf("pem: marshal checkpoint config: %w", err)
+		}
+		lcfg.CheckpointMeta = meta
 	}
 	if err := lcfg.Validate(); err != nil {
 		return nil, fmt.Errorf("pem: %w", err)

@@ -149,6 +149,14 @@ type Config struct {
 	// protocol Rounds over the emulated links. Empty (the default) disables
 	// emulation.
 	Network string
+	// Store, when set, persists the market's committed artifacts as they
+	// happen: the roster's key-material fingerprints at provisioning and
+	// every ledger block at commit, under scope "market". A store error
+	// fails the operation that hit it — durability failures must not pass
+	// silently. Nil (the default) keeps the market purely in-memory. In a
+	// grid configuration this field is ignored (like RecordLedger); set
+	// GridConfig.Store or LiveGridConfig.Store instead.
+	Store Store `json:"-"`
 }
 
 // Aggregation topologies for Config.Aggregation.
@@ -232,8 +240,33 @@ func NewMarket(cfg Config, agents []Agent) (*Market, error) {
 	if cfg.RecordLedger == nil || *cfg.RecordLedger {
 		m.ledger = ledger.New()
 	}
+	if cfg.Store != nil {
+		for _, fp := range eng.KeyFingerprints() {
+			rec := KeyRecord{Scope: marketScope, Party: fp.Party, Fingerprint: append([]byte(nil), fp.Digest[:]...)}
+			if err := cfg.Store.PutKeyMaterial(rec); err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("pem: store key material: %w", err)
+			}
+		}
+		if m.ledger != nil {
+			// Persist the genesis block up front so the stored chain verifies
+			// end-to-end (FromBlocks) even before the first window commits.
+			genesis, err := m.ledger.Block(0)
+			if err == nil {
+				err = cfg.Store.AppendBlock(marketScope, genesis)
+			}
+			if err != nil {
+				eng.Close()
+				return nil, fmt.Errorf("pem: store genesis: %w", err)
+			}
+		}
+	}
 	return m, nil
 }
+
+// marketScope is the store scope a solo market persists under; grids use
+// per-coalition scopes instead.
+const marketScope = "market"
 
 // Agents returns the roster.
 func (m *Market) Agents() []Agent {
@@ -294,14 +327,21 @@ func (m *Market) RunWindows(ctx context.Context, inputs [][]WindowInput) ([]*Win
 }
 
 // streamWindows runs jobs through the engine's scheduler, appending every
-// completed window's trades to the ledger in strict window order before
-// handing the result to sink.
+// completed window's trades to the ledger in strict window order — and,
+// with Config.Store set, persisting each committed block before the result
+// reaches the sink — so ledger, store and sink always agree on order.
 func (m *Market) streamWindows(ctx context.Context, jobs []core.WindowJob, sink func(*WindowResult) error) ([]*WindowResult, error) {
 	return m.engine.StreamWindows(ctx, jobs, func(res *WindowResult) error {
 		if m.ledger != nil {
 			records := ledger.RecordsFromTrades(res.Trades)
-			if _, err := m.ledger.Append(res.Window, res.Price, records); err != nil {
+			blk, err := m.ledger.Append(res.Window, res.Price, records)
+			if err != nil {
 				return fmt.Errorf("pem: ledger append: %w", err)
+			}
+			if m.cfg.Store != nil {
+				if err := m.cfg.Store.AppendBlock(marketScope, blk); err != nil {
+					return fmt.Errorf("pem: store block: %w", err)
+				}
 			}
 		}
 		if sink != nil {
